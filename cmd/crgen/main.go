@@ -1,0 +1,83 @@
+// Command crgen generates the synthetic experiment data: a calibrated
+// SNOMED-like ontology plus the PATIENT and RADIO collections, and writes
+// them (with disk-backed indexes) into a data directory for crstats,
+// crsearch and crbench.
+//
+// Usage:
+//
+//	crgen -out data -scale small [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"conceptrank"
+	"conceptrank/internal/bench"
+	"conceptrank/internal/emrgen"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontogen"
+	"conceptrank/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crgen: ")
+	var (
+		out       = flag.String("out", "data", "output directory")
+		scaleName = flag.String("scale", "small", "data scale: small, medium or paper")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	scale, err := bench.ScaleByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generating ontology (%d concepts)...\n", scale.OntologyConcepts)
+	o, err := ontogen.Generate(ontogen.Config{NumConcepts: scale.OntologyConcepts, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := conceptrank.SaveOntology(filepath.Join(*out, "ontology.cro"), o); err != nil {
+		log.Fatal(err)
+	}
+	s := o.ComputeStats()
+	fmt.Printf("  concepts=%d edges=%d avgChildren=%.2f paths/concept=%.2f pathLen=%.2f\n",
+		s.Concepts, s.Edges, s.AvgChildrenInternal, s.AvgPathsPerConcept, s.AvgPathLen)
+
+	for _, profile := range []emrgen.Profile{scale.Patient, scale.Radio} {
+		fmt.Printf("generating %s (%d docs)...\n", profile.Name, profile.NumDocs)
+		coll, err := emrgen.GenerateConceptSets(o, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Apply the paper's default filters at generation time so every
+		// tool sees the same collection.
+		cfg := index.FilterConfig{MinDepth: 4, CFThreshold: index.MuSigmaCF(coll)}
+		filtered, fstats := index.ApplyFilter(coll, o, cfg)
+		fmt.Printf("  filters: %d concepts kept of %d (depth removed %d, cf removed %d)\n",
+			fstats.ConceptsKept, fstats.ConceptsBefore, fstats.RemovedByDepth, fstats.RemovedByCF)
+
+		base := filepath.Join(*out, profile.Name)
+		if err := conceptrank.SaveCollection(base+".crc", filtered); err != nil {
+			log.Fatal(err)
+		}
+		if err := store.BuildInvertedFile(base+".inv", filtered); err != nil {
+			log.Fatal(err)
+		}
+		if err := store.BuildForwardFile(base+".fwd", filtered); err != nil {
+			log.Fatal(err)
+		}
+		cs := filtered.ComputeStats()
+		fmt.Printf("  %s\n", cs)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

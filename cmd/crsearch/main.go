@@ -1,0 +1,134 @@
+// Command crsearch runs RDS and SDS queries against a data directory
+// written by crgen, using the disk-backed indexes.
+//
+// Usage:
+//
+//	crsearch -data data -corpus RADIO -type rds -query "term one,term two" -k 10
+//	crsearch -data data -corpus PATIENT -type sds -doc 17 -k 5
+//	crsearch -data data -corpus RADIO -type rds -ids 120,4711 -eps 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"conceptrank"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crsearch: ")
+	var (
+		data      = flag.String("data", "data", "data directory written by crgen")
+		corpusArg = flag.String("corpus", "RADIO", "collection: PATIENT or RADIO")
+		queryType = flag.String("type", "rds", "query type: rds or sds")
+		query     = flag.String("query", "", "comma-separated concept terms (rds)")
+		ids       = flag.String("ids", "", "comma-separated concept IDs (rds)")
+		docID     = flag.Int("doc", -1, "query document ID (sds)")
+		k         = flag.Int("k", 10, "number of results")
+		eps       = flag.Float64("eps", 0.5, "kNDS error threshold")
+		baseline  = flag.Bool("baseline", false, "also run the full-scan baseline and compare")
+	)
+	flag.Parse()
+
+	o, err := conceptrank.LoadOntology(filepath.Join(*data, "ontology.cro"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll, err := conceptrank.LoadCollection(filepath.Join(*data, strings.ToUpper(*corpusArg)+".crc"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := conceptrank.NewEngine(o, coll)
+
+	var concepts []conceptrank.ConceptID
+	switch strings.ToLower(*queryType) {
+	case "rds":
+		for _, term := range splitNonEmpty(*query) {
+			c, ok := conceptrank.FindConcept(o, term)
+			if !ok {
+				log.Fatalf("unknown concept term %q", term)
+			}
+			concepts = append(concepts, c)
+		}
+		for _, s := range splitNonEmpty(*ids) {
+			n, err := strconv.ParseUint(s, 10, 32)
+			if err != nil || int(n) >= o.NumConcepts() {
+				log.Fatalf("bad concept ID %q", s)
+			}
+			concepts = append(concepts, conceptrank.ConceptID(n))
+		}
+		if len(concepts) == 0 {
+			log.Fatal("rds query needs -query terms or -ids")
+		}
+	case "sds":
+		if *docID < 0 || *docID >= coll.NumDocs() {
+			log.Fatalf("sds query needs -doc in [0,%d)", coll.NumDocs())
+		}
+		concepts = coll.Doc(conceptrank.DocID(*docID)).Concepts
+	default:
+		log.Fatalf("unknown query type %q", *queryType)
+	}
+
+	fmt.Printf("query (%s, %d concepts):", strings.ToUpper(*queryType), len(concepts))
+	for i, c := range concepts {
+		if i >= 5 {
+			fmt.Printf(" ... (+%d more)", len(concepts)-5)
+			break
+		}
+		fmt.Printf(" %q", o.Name(c))
+	}
+	fmt.Println()
+
+	opts := conceptrank.Options{K: *k, ErrorThreshold: *eps}
+	var results []conceptrank.Result
+	var m *conceptrank.Metrics
+	if strings.ToLower(*queryType) == "sds" {
+		results, m, err = eng.SDS(concepts, opts)
+	} else {
+		results, m, err = eng.RDS(concepts, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("%2d. doc %-6d %-24s distance %.4f\n", i+1, r.Doc, coll.Doc(r.Doc).Name, r.Distance)
+	}
+	fmt.Printf("\nkNDS: %v total (%v distance calc, %v traversal, %v io); examined %d of %d discovered; %d DRC calls\n",
+		m.TotalTime.Round(1000), m.DistanceTime.Round(1000), m.TraversalTime.Round(1000), m.IOTime.Round(1000),
+		m.DocsExamined, m.DocsDiscovered, m.DRCCalls)
+
+	if *baseline {
+		var scan []conceptrank.Result
+		var bm *conceptrank.Metrics
+		if strings.ToLower(*queryType) == "sds" {
+			scan, bm, err = eng.FullScanSDS(concepts, *k)
+		} else {
+			scan, bm, err = eng.FullScanRDS(concepts, *k)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline full scan: %v total, %d docs examined\n", bm.TotalTime.Round(1000), bm.DocsExamined)
+		for i := range results {
+			if results[i].Distance != scan[i].Distance {
+				log.Fatalf("MISMATCH at rank %d: kNDS %v vs baseline %v", i, results[i], scan[i])
+			}
+		}
+		fmt.Println("baseline agrees with kNDS.")
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Command crstats prints the corpus statistics (Table 3) and ontology
+// statistics (Section 6.1) for a data directory written by crgen.
+//
+// Usage:
+//
+//	crstats -data data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"conceptrank"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crstats: ")
+	data := flag.String("data", "data", "data directory written by crgen")
+	flag.Parse()
+
+	o, err := conceptrank.LoadOntology(filepath.Join(*data, "ontology.cro"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := o.ComputeStats()
+	fmt.Println("Ontology (paper SNOMED-CT: 296433 concepts, 4.53 avg children, 9.78 paths, length 14.1):")
+	fmt.Printf("  concepts=%d edges=%d leaves=%d maxDepth=%d\n", s.Concepts, s.Edges, s.Leaves, s.MaxDepth)
+	fmt.Printf("  avgChildren(internal)=%.2f avgParents=%.3f paths/concept=%.2f avgPathLen=%.2f\n",
+		s.AvgChildrenInternal, s.AvgParents, s.AvgPathsPerConcept, s.AvgPathLen)
+	fmt.Println()
+
+	fmt.Println("Table 3 — document corpus statistics:")
+	fmt.Printf("  %-24s %12s %12s\n", "", "PATIENT", "RADIO")
+	type row struct {
+		label          string
+		patient, radio string
+	}
+	var rows []row
+	for _, name := range []string{"PATIENT", "RADIO"} {
+		coll, err := conceptrank.LoadCollection(filepath.Join(*data, name+".crc"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := coll.ComputeStats()
+		vals := []string{
+			fmt.Sprintf("%d", cs.TotalDocuments),
+			fmt.Sprintf("%d", cs.DistinctConcepts),
+			fmt.Sprintf("%.1f", cs.AvgTokensPerDoc),
+			fmt.Sprintf("%.1f", cs.AvgConceptsPerDoc),
+		}
+		labels := []string{"Total Documents", "Total Concepts", "Avg. Tokens/Document", "Avg. Concepts/Document"}
+		for i, l := range labels {
+			if name == "PATIENT" {
+				rows = append(rows, row{label: l, patient: vals[i]})
+			} else {
+				rows[i].radio = vals[i]
+			}
+		}
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-24s %12s %12s\n", r.label, r.patient, r.radio)
+	}
+}

@@ -1,0 +1,436 @@
+// Package conceptrank is a library for efficient concept-based document
+// ranking over ontology-annotated document collections, reproducing
+// Arvanitis, Wiley and Hristidis, "Efficient Concept-based Document
+// Ranking" (EDBT 2014).
+//
+// Documents are sets of concepts drawn from a rooted is-a DAG ontology
+// (SNOMED-CT-like). The library answers two query types:
+//
+//   - RDS (Relevant Document Search): the k documents minimizing the
+//     document-query distance — the sum over query concepts of the shortest
+//     valid-path distance to the document's nearest concept.
+//   - SDS (Similar Document Search): the k documents minimizing the
+//     symmetric document-document distance of Melton et al.
+//
+// Both run on the kNDS branch-and-bound algorithm with DRC (D-Radix
+// Construction) as its O(n log n) distance component. The package also
+// bundles the substrates a self-contained deployment needs: a calibrated
+// synthetic ontology generator, synthetic EMR corpus generators, a
+// MetaMap-like concept-extraction pipeline (tokenizer, abbreviation
+// expansion, negation detection, dictionary matching), disk-backed indexes,
+// and baseline implementations (full scan, pairwise BL, Threshold
+// Algorithm) for comparison.
+//
+// # Quick start
+//
+//	o, _ := conceptrank.GenerateOntology(conceptrank.OntologyConfig{NumConcepts: 10000, Seed: 1})
+//	coll, _ := conceptrank.GenerateCorpus(o, conceptrank.RadioProfile(0.05, 2))
+//	eng := conceptrank.NewEngine(o, coll)
+//	results, metrics, _ := eng.RDS([]conceptrank.ConceptID{42, 99}, conceptrank.Options{K: 10})
+//
+// See examples/ for complete programs and DESIGN.md for the paper mapping.
+package conceptrank
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/emrgen"
+	"conceptrank/internal/index"
+	"conceptrank/internal/nlp"
+	"conceptrank/internal/ontogen"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/store"
+)
+
+// Core identifiers and data types, re-exported from the internal packages.
+type (
+	// ConceptID identifies a concept within an Ontology.
+	ConceptID = ontology.ConceptID
+	// DocID identifies a document within a Collection.
+	DocID = corpus.DocID
+	// Ontology is a rooted is-a concept DAG with Dewey addressing.
+	Ontology = ontology.Ontology
+	// OntologyBuilder assembles an Ontology by hand.
+	OntologyBuilder = ontology.Builder
+	// OntologyStats aggregates structural ontology statistics.
+	OntologyStats = ontology.Stats
+	// Collection is a set of concept-annotated documents.
+	Collection = corpus.Collection
+	// Document is one document of a Collection.
+	Document = corpus.Document
+	// CorpusStats aggregates collection statistics (the paper's Table 3).
+	CorpusStats = corpus.Stats
+	// Result is one ranked document.
+	Result = core.Result
+	// Metrics reports where a query spent its time.
+	Metrics = core.Metrics
+	// Options configures a kNDS query (k, error threshold, queue limit...).
+	Options = core.Options
+	// OntologyConfig parameterizes the synthetic ontology generator.
+	OntologyConfig = ontogen.Config
+	// CorpusProfile parameterizes the synthetic EMR corpus generator.
+	CorpusProfile = emrgen.Profile
+	// Annotator extracts ontology concepts from clinical text (tokenizer,
+	// abbreviation expansion, negation detection, dictionary matching).
+	Annotator = nlp.Matcher
+	// Mention is one recognized concept occurrence in text.
+	Mention = nlp.Mention
+)
+
+// NewOntologyBuilder starts a hand-built ontology whose root concept
+// carries rootName.
+func NewOntologyBuilder(rootName string) *OntologyBuilder {
+	return ontology.NewBuilder(rootName)
+}
+
+// NewCollection returns an empty document collection.
+func NewCollection() *Collection { return corpus.New() }
+
+// GenerateOntology builds a synthetic SNOMED-like ontology calibrated to
+// the published structural statistics (see internal/ontogen).
+func GenerateOntology(cfg OntologyConfig) (*Ontology, error) { return ontogen.Generate(cfg) }
+
+// PatientProfile returns the dense PATIENT corpus profile of the paper's
+// Table 3, scaled by scale (1.0 = published size).
+func PatientProfile(scale float64, seed int64) CorpusProfile { return emrgen.Patient(scale, seed) }
+
+// RadioProfile returns the sparse RADIO corpus profile of the paper's
+// Table 3, scaled by scale.
+func RadioProfile(scale float64, seed int64) CorpusProfile { return emrgen.Radio(scale, seed) }
+
+// GenerateCorpus builds a synthetic concept-set collection over o.
+func GenerateCorpus(o *Ontology, p CorpusProfile) (*Collection, error) {
+	return emrgen.GenerateConceptSets(o, p)
+}
+
+// NewAnnotator builds the concept-extraction pipeline from the ontology's
+// terms, synonyms and abbreviations.
+func NewAnnotator(o *Ontology) *Annotator { return nlp.NewMatcher(o) }
+
+// Note is one generated clinical note with its ground-truth annotation.
+type Note = emrgen.Note
+
+// GenerateNoteCorpus renders synthetic clinical-note text (with
+// abbreviated and negated mentions) and builds the collection by running
+// the notes through the NLP pipeline — the same document construction flow
+// the paper used with MetaMap. negatedFrac of each note's concepts are
+// mentioned under negation and therefore excluded from the index.
+func GenerateNoteCorpus(o *Ontology, ann *Annotator, p CorpusProfile, negatedFrac float64) (*Collection, []Note, error) {
+	return emrgen.GenerateNotes(o, ann, p, negatedFrac)
+}
+
+// ConceptDistance returns the shortest valid-path distance between two
+// concepts (a valid path passes through a common ancestor).
+func ConceptDistance(o *Ontology, a, b ConceptID) int { return distance.ConceptDistance(o, a, b) }
+
+// DocQueryDistance computes the RDS distance Ddq(doc, query) with DRC.
+func DocQueryDistance(o *Ontology, doc, query []ConceptID) float64 {
+	return drc.NewCalculator(o, 0).DocQuery(doc, query)
+}
+
+// DocDocDistance computes the symmetric SDS distance Ddd(d1, d2) with DRC.
+func DocDocDistance(o *Ontology, d1, d2 []ConceptID) float64 {
+	return drc.NewCalculator(o, 0).DocDoc(d1, d2)
+}
+
+// Engine evaluates RDS and SDS queries over one indexed collection.
+type Engine struct {
+	inner   *core.Engine
+	o       *Ontology
+	fwd     index.Forward
+	numDocs func() int
+	io      *store.IOStats
+	files   []interface{ Close() error }
+}
+
+// NewEngine indexes coll in memory and returns a ready engine.
+func NewEngine(o *Ontology, coll *Collection) *Engine {
+	fwd := index.BuildMemForward(coll)
+	n := coll.NumDocs()
+	return &Engine{
+		inner:   core.NewEngine(o, index.BuildMemInverted(coll), fwd, n, nil),
+		o:       o,
+		fwd:     fwd,
+		numDocs: func() int { return n },
+	}
+}
+
+// Filenames used by SaveIndexes / OpenDiskEngine within a data directory.
+const (
+	OntologyFile = "ontology.cro"
+	InvertedFile = "inverted.crs"
+	ForwardFile  = "forward.crs"
+)
+
+// SaveIndexes writes disk-backed inverted and forward indexes for coll
+// into dir.
+func SaveIndexes(dir string, coll *Collection) error {
+	if err := store.BuildInvertedFile(filepath.Join(dir, InvertedFile), coll); err != nil {
+		return err
+	}
+	return store.BuildForwardFile(filepath.Join(dir, ForwardFile), coll)
+}
+
+// OpenDiskEngine opens the disk-backed indexes previously written by
+// SaveIndexes. numDocs must match the indexed collection. cacheBlocks
+// bounds the per-file decoded block cache (0 disables caching). Close the
+// engine when done.
+func OpenDiskEngine(o *Ontology, dir string, numDocs, cacheBlocks int) (*Engine, error) {
+	io := &store.IOStats{}
+	inv, err := store.OpenInverted(filepath.Join(dir, InvertedFile), io, cacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := store.OpenForward(filepath.Join(dir, ForwardFile), io, cacheBlocks)
+	if err != nil {
+		inv.Close()
+		return nil, err
+	}
+	return &Engine{
+		inner:   core.NewEngine(o, inv, fwd, numDocs, io),
+		o:       o,
+		fwd:     fwd,
+		numDocs: func() int { return numDocs },
+		io:      io,
+		files:   []interface{ Close() error }{inv, fwd},
+	}, nil
+}
+
+// DynamicEngine is an Engine over a mutable collection: documents added
+// with AddDocument are searchable immediately, with no precomputation or
+// index rebuild — the operational advantage the paper claims for kNDS over
+// distance-precomputation schemes such as the Threshold Algorithm.
+// AddDocument may run concurrently with queries.
+type DynamicEngine struct {
+	Engine
+	dyn     *index.Dynamic
+	journal *store.Journal
+}
+
+// NewDynamicEngine returns an empty, growable engine over o.
+func NewDynamicEngine(o *Ontology) *DynamicEngine {
+	dyn := index.NewDynamic()
+	return &DynamicEngine{
+		Engine: Engine{
+			inner: core.NewEngineDynamic(o, dyn, dyn, dyn.NumDocs, nil),
+			o:     o, fwd: dyn, numDocs: dyn.NumDocs,
+		},
+		dyn: dyn,
+	}
+}
+
+// NewDynamicEngineFrom bulk-loads an existing collection and stays
+// growable.
+func NewDynamicEngineFrom(o *Ontology, coll *Collection) *DynamicEngine {
+	dyn := index.FromCollection(coll)
+	return &DynamicEngine{
+		Engine: Engine{
+			inner: core.NewEngineDynamic(o, dyn, dyn, dyn.NumDocs, nil),
+			o:     o, fwd: dyn, numDocs: dyn.NumDocs,
+		},
+		dyn: dyn,
+	}
+}
+
+// OpenJournaledEngine opens a growable engine whose documents are durably
+// logged to a write-ahead journal at path: existing intact records are
+// replayed on open (a torn tail from a crash is truncated), and every
+// AddDocument is appended and fsynced before it returns.
+func OpenJournaledEngine(o *Ontology, path string) (*DynamicEngine, error) {
+	dyn := index.NewDynamic()
+	_, err := store.ReplayJournal(path, func(r store.JournalRecord) error {
+		concepts := make([]ConceptID, len(r.Concepts))
+		for i, c := range r.Concepts {
+			concepts[i] = ConceptID(c)
+		}
+		dyn.AddDocument(r.Name, concepts)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	j, err := store.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	e := &DynamicEngine{
+		Engine: Engine{
+			inner: core.NewEngineDynamic(o, dyn, dyn, dyn.NumDocs, nil),
+			o:     o, fwd: dyn, numDocs: dyn.NumDocs,
+			files: []interface{ Close() error }{j},
+		},
+		dyn:     dyn,
+		journal: j,
+	}
+	return e, nil
+}
+
+// AddDocument indexes a new document and returns its ID. On a journaled
+// engine the document is logged and fsynced first; a journal failure
+// panics rather than silently dropping durability (callers that need
+// softer handling should use AddDocumentDurable).
+func (e *DynamicEngine) AddDocument(name string, concepts []ConceptID) DocID {
+	id, err := e.AddDocumentDurable(name, concepts)
+	if err != nil {
+		panic(fmt.Sprintf("conceptrank: journal append failed: %v", err))
+	}
+	return id
+}
+
+// AddDocumentDurable is AddDocument with an explicit error for journal
+// failures.
+func (e *DynamicEngine) AddDocumentDurable(name string, concepts []ConceptID) (DocID, error) {
+	if e.journal != nil {
+		set := make([]uint32, len(concepts))
+		for i, c := range concepts {
+			set[i] = uint32(c)
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		dedup := set[:0]
+		for i, c := range set {
+			if i == 0 || c != set[i-1] {
+				dedup = append(dedup, c)
+			}
+		}
+		if err := e.journal.Append(store.JournalRecord{Name: name, Concepts: dedup}); err != nil {
+			return 0, err
+		}
+		if err := e.journal.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return e.dyn.AddDocument(name, concepts), nil
+}
+
+// NumDocs returns the current collection size.
+func (e *DynamicEngine) NumDocs() int { return e.dyn.NumDocs() }
+
+// DocName returns the name a document was added under.
+func (e *DynamicEngine) DocName(id DocID) string { return e.dyn.Name(id) }
+
+// DocConcepts returns a document's indexed concept set.
+func (e *DynamicEngine) DocConcepts(id DocID) ([]ConceptID, error) { return e.dyn.Concepts(id) }
+
+// Close releases disk resources (no-op for memory engines).
+func (e *Engine) Close() error {
+	var first error
+	for _, f := range e.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.files = nil
+	return first
+}
+
+// RDS returns the k documents most relevant to the query concepts.
+func (e *Engine) RDS(query []ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.inner.RDS(query, opts)
+}
+
+// SDS returns the k documents most similar to the query document's
+// concept set.
+func (e *Engine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.inner.SDS(queryDoc, opts)
+}
+
+// BatchRDS evaluates many RDS queries concurrently over a worker pool
+// (workers <= 0 selects GOMAXPROCS). Results are in input order.
+func (e *Engine) BatchRDS(queries [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.inner.BatchRDS(queries, opts, workers)
+}
+
+// BatchSDS evaluates many SDS queries concurrently.
+func (e *Engine) BatchSDS(queryDocs [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.inner.BatchSDS(queryDocs, opts, workers)
+}
+
+// FullScanRDS ranks by scanning the whole collection (the evaluation
+// baseline; exact but slow).
+func (e *Engine) FullScanRDS(query []ConceptID, k int) ([]Result, *Metrics, error) {
+	return e.inner.FullScanRDS(query, k, false)
+}
+
+// FullScanSDS is the full-scan baseline for similarity queries.
+func (e *Engine) FullScanSDS(queryDoc []ConceptID, k int) ([]Result, *Metrics, error) {
+	return e.inner.FullScanSDS(queryDoc, k, false)
+}
+
+// SaveOntology writes o to path in the checksummed binary format.
+func SaveOntology(path string, o *Ontology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := o.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadOntology reads an ontology written by SaveOntology.
+func LoadOntology(path string) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	o, err := ontology.ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("conceptrank: load %s: %w", path, err)
+	}
+	return o, nil
+}
+
+// SaveCollection writes coll to path.
+func SaveCollection(path string, coll *Collection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := coll.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCollection reads a collection written by SaveCollection.
+func LoadCollection(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := corpus.ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("conceptrank: load %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// FindConcept looks a concept up by its primary term or any synonym
+// (case-sensitive). It scans the ontology; build your own map for bulk
+// lookups.
+func FindConcept(o *Ontology, term string) (ConceptID, bool) {
+	for c := 0; c < o.NumConcepts(); c++ {
+		id := ConceptID(c)
+		if o.Name(id) == term {
+			return id, true
+		}
+		for _, s := range o.Synonyms(id) {
+			if s == term {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}

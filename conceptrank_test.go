@@ -1,0 +1,171 @@
+package conceptrank
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func smallSetup(t *testing.T) (*Ontology, *Collection) {
+	t.Helper()
+	o, err := GenerateOntology(OntologyConfig{NumConcepts: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := GenerateCorpus(o, CorpusProfile{
+		Name: "T", NumDocs: 60, ConceptsPerDoc: 20, ConceptsStdDev: 5,
+		TokensPerDoc: 100, Clustering: 0.5, DistinctTargets: 500, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, coll
+}
+
+func TestEndToEndRDSAndSDS(t *testing.T) {
+	o, coll := smallSetup(t)
+	eng := NewEngine(o, coll)
+	q := coll.Doc(0).Concepts[:3]
+
+	results, m, err := eng.RDS(q, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 || m.ResultCount != 5 {
+		t.Fatalf("RDS results: %v", results)
+	}
+	// Doc 0 contains all query concepts, so its distance is 0 and it must
+	// rank first.
+	if results[0].Doc != 0 || results[0].Distance != 0 {
+		t.Fatalf("doc 0 should be the top RDS hit: %v", results)
+	}
+
+	sims, _, err := eng.SDS(coll.Doc(0).Concepts, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims[0].Doc != 0 || sims[0].Distance != 0 {
+		t.Fatalf("doc 0 should be most similar to itself: %v", sims)
+	}
+
+	// kNDS must agree with the exhaustive baseline.
+	scan, _, err := eng.FullScanRDS(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if math.Abs(results[i].Distance-scan[i].Distance) > 1e-9 {
+			t.Fatalf("kNDS %v vs full scan %v", results, scan)
+		}
+	}
+}
+
+func TestDistancesExposed(t *testing.T) {
+	o, _ := smallSetup(t)
+	a, b := ConceptID(10), ConceptID(20)
+	d := ConceptDistance(o, a, b)
+	if d <= 0 {
+		t.Fatalf("ConceptDistance = %d", d)
+	}
+	if got := DocQueryDistance(o, []ConceptID{a}, []ConceptID{b}); got != float64(d) {
+		t.Errorf("DocQueryDistance singleton = %v, want %d", got, d)
+	}
+	if got := DocDocDistance(o, []ConceptID{a}, []ConceptID{b}); got != float64(2*d) {
+		t.Errorf("DocDocDistance singleton = %v, want %d", got, 2*d)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	o, coll := smallSetup(t)
+	dir := t.TempDir()
+	opath := filepath.Join(dir, OntologyFile)
+	cpath := filepath.Join(dir, "corpus.crc")
+	if err := SaveOntology(opath, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCollection(cpath, coll); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := LoadOntology(opath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll2, err := LoadCollection(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.NumConcepts() != o.NumConcepts() || coll2.NumDocs() != coll.NumDocs() {
+		t.Fatal("round trip changed shapes")
+	}
+}
+
+func TestDiskEngineMatchesMemory(t *testing.T) {
+	o, coll := smallSetup(t)
+	dir := t.TempDir()
+	if err := SaveIndexes(dir, coll); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskEngine(o, dir, coll.NumDocs(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	mem := NewEngine(o, coll)
+	q := coll.Doc(3).Concepts[:4]
+	a, _, err := mem.RDS(q, Options{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, m, err := disk.RDS(q, Options{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("disk engine diverged: %v vs %v", a, b)
+		}
+	}
+	if m.IOTime <= 0 {
+		t.Error("disk engine reported no I/O time")
+	}
+}
+
+func TestAnnotatorIntegration(t *testing.T) {
+	o, _ := smallSetup(t)
+	ann := NewAnnotator(o)
+	name := o.Name(50)
+	set := ann.ConceptSet("Patient presents with " + name + ".")
+	if len(set) != 1 || set[0] != 50 {
+		t.Fatalf("ConceptSet = %v, want [50] for %q", set, name)
+	}
+	if set := ann.ConceptSet("No evidence of " + name + "."); len(set) != 0 {
+		t.Fatalf("negated mention indexed: %v", set)
+	}
+}
+
+func TestFindConcept(t *testing.T) {
+	o, _ := smallSetup(t)
+	name := o.Name(123)
+	id, ok := FindConcept(o, name)
+	if !ok || id != 123 {
+		t.Fatalf("FindConcept(%q) = %v, %v", name, id, ok)
+	}
+	if _, ok := FindConcept(o, "definitely not a term"); ok {
+		t.Error("bogus term found")
+	}
+}
+
+func TestHandBuiltOntology(t *testing.T) {
+	b := NewOntologyBuilder("root")
+	heart := b.AddConcept("heart disease")
+	valve := b.AddConcept("heart valve finding")
+	b.MustAddEdge(b.Root(), heart)
+	b.MustAddEdge(heart, valve)
+	o, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ConceptDistance(o, heart, valve) != 1 {
+		t.Error("hand-built distances wrong")
+	}
+}

@@ -1,0 +1,87 @@
+// Hybrid text + concept search over generated clinical notes — the full
+// pipeline in one program, and the paper's future-work combination with IR
+// ranking:
+//
+//  1. generate an ontology and clinical-note texts (with abbreviations and
+//     negations),
+//  2. run the NLP pipeline (tokenize, expand abbreviations, detect
+//     negation, map concepts) to build the concept index,
+//  3. build a BM25 text index over the raw notes,
+//  4. answer a query both ways and blended.
+//
+// The paper's intro motivates exactly this: a query for "aortic valve
+// stenosis" should also surface notes about ontologically close findings
+// that never mention the query words.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"conceptrank"
+)
+
+func main() {
+	fmt.Println("generating ontology and clinical notes...")
+	o, err := conceptrank.GenerateOntology(conceptrank.OntologyConfig{NumConcepts: 6000, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann := conceptrank.NewAnnotator(o)
+
+	coll, notes, err := conceptrank.GenerateNoteCorpus(o, ann, conceptrank.CorpusProfile{
+		Name: "NOTES", NumDocs: 400, ConceptsPerDoc: 14, ConceptsStdDev: 5,
+		TokensPerDoc: 220, Clustering: 0.5, DistinctTargets: 1500, Seed: 24,
+	}, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	texts := make([]string, len(notes))
+	for i, n := range notes {
+		texts[i] = n.Text
+	}
+	eng := conceptrank.NewEngine(o, coll)
+	tix := conceptrank.BuildTextIndex(texts)
+	fmt.Printf("indexed %d notes (%d text terms)\n\n", coll.NumDocs(), tix.NumTerms())
+
+	// The query: one concept taken from a real note, phrased as text.
+	target := coll.Doc(17).Concepts[0]
+	queryText := o.Name(target)
+	queryConcepts := ann.ConceptSet("Patient with " + queryText + ".")
+	fmt.Printf("query text: %q (maps to concept %d)\n\n", queryText, target)
+
+	show := func(title string, results []conceptrank.HybridResult) {
+		fmt.Println(title)
+		for i, r := range results {
+			fmt.Printf("  %d. doc %-5d score %.3f (semantic %.3f, bm25 %.3f)\n",
+				i+1, r.Doc, r.Score, r.Semantic, r.BM25)
+		}
+		fmt.Println()
+	}
+
+	pureText, err := eng.HybridRDS(queryConcepts, queryText, tix, 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("pure BM25 (alpha=0): only notes containing the words", pureText)
+
+	pureSem, err := eng.HybridRDS(queryConcepts, queryText, tix, 1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("pure concept ranking (alpha=1): ontologically close notes too", pureSem)
+
+	blended, err := eng.HybridRDS(queryConcepts, queryText, tix, 0.6, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("blended (alpha=0.6)", blended)
+
+	// And the fast path for the same semantic query via kNDS:
+	results, m, err := eng.RDS(queryConcepts, conceptrank.Options{K: 5, ErrorThreshold: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kNDS fast path agrees on the best semantic hit: doc %d (examined %d of %d docs)\n",
+		results[0].Doc, m.DocsExamined, coll.NumDocs())
+}

@@ -1,0 +1,3 @@
+module conceptrank
+
+go 1.22

@@ -1,0 +1,98 @@
+package conceptrank
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLinePipeline builds the CLI tools and drives the full
+// generate -> stats -> search pipeline on a miniature dataset, asserting
+// that kNDS agrees with the baseline end to end through the binaries.
+func TestCommandLinePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline skipped in -short mode")
+	}
+	bin := t.TempDir()
+	data := filepath.Join(t.TempDir(), "data")
+	for _, tool := range []string{"crgen", "crstats", "crsearch", "crbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("crgen", "-out", data, "-scale", "small", "-seed", "2")
+	if !strings.Contains(out, "PATIENT") || !strings.Contains(out, "RADIO") {
+		t.Fatalf("crgen output unexpected:\n%s", out)
+	}
+	for _, f := range []string{"ontology.cro", "PATIENT.crc", "RADIO.crc", "PATIENT.inv", "RADIO.fwd"} {
+		if _, err := os.Stat(filepath.Join(data, f)); err != nil {
+			t.Fatalf("crgen did not write %s: %v", f, err)
+		}
+	}
+
+	out = run("crstats", "-data", data)
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "Total Documents") {
+		t.Fatalf("crstats output unexpected:\n%s", out)
+	}
+
+	// Pick a concept that certainly occurs: read the RADIO collection and
+	// use a concept from its first non-empty document.
+	coll, err := LoadCollection(filepath.Join(data, "RADIO.crc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cid ConceptID
+	found := false
+	for _, d := range coll.Docs() {
+		if len(d.Concepts) > 0 {
+			cid = d.Concepts[0]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("RADIO collection is empty")
+	}
+	out = run("crsearch", "-data", data, "-corpus", "RADIO", "-type", "rds",
+		"-ids", itoa(int(cid)), "-k", "5", "-baseline")
+	if !strings.Contains(out, "baseline agrees with kNDS.") {
+		t.Fatalf("crsearch did not verify against baseline:\n%s", out)
+	}
+
+	out = run("crsearch", "-data", data, "-corpus", "PATIENT", "-type", "sds", "-doc", "0", "-k", "3")
+	if !strings.Contains(out, "doc 0") {
+		t.Fatalf("SDS self-match missing:\n%s", out)
+	}
+
+	out = run("crbench", "-scale", "small", "-exp", "table3")
+	if !strings.Contains(out, "table3") {
+		t.Fatalf("crbench output unexpected:\n%s", out)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

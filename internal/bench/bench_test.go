@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"conceptrank/internal/emrgen"
+)
+
+// tinyScale keeps harness tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:             "tiny",
+		OntologyConcepts: 1500,
+		Patient: emrgen.Profile{
+			Name: "PATIENT", NumDocs: 25, ConceptsPerDoc: 30, ConceptsStdDev: 8,
+			TokensPerDoc: 400, Clustering: 0.85, DistinctTargets: 400, Seed: 101,
+		},
+		Radio: emrgen.Profile{
+			Name: "RADIO", NumDocs: 60, ConceptsPerDoc: 8, ConceptsStdDev: 3,
+			TokensPerDoc: 100, Clustering: 0.25, DistinctTargets: 300, Seed: 102,
+		},
+		DistPairs:   10,
+		RankQueries: 3,
+		DistSizes:   []int{2, 5},
+	}
+}
+
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestEnvSetup(t *testing.T) {
+	env := tinyEnv(t)
+	if env.Patient.Coll.NumDocs() != 25 || env.Radio.Coll.NumDocs() != 60 {
+		t.Fatalf("doc counts: %d / %d", env.Patient.Coll.NumDocs(), env.Radio.Coll.NumDocs())
+	}
+	if len(env.Patient.Eligible) == 0 || len(env.Radio.Eligible) == 0 {
+		t.Fatal("no eligible query concepts")
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	env := tinyEnv(t)
+	r := newRand()
+	qs := env.Radio.RandomQueries(r, 5, 3)
+	if len(qs) != 5 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) != 3 {
+			t.Fatalf("query size %d", len(q))
+		}
+		seen := map[any]bool{}
+		for _, c := range q {
+			if seen[c] {
+				t.Fatal("duplicate concept in query")
+			}
+			seen[c] = true
+		}
+	}
+	docs := env.Patient.RandomQueryDocs(r, 4)
+	if len(docs) != 4 {
+		t.Fatalf("%d query docs", len(docs))
+	}
+	for _, d := range docs {
+		if len(d) == 0 {
+			t.Fatal("empty query doc")
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	tables, err := All(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+			t.Errorf("table %q is empty: %+v", tbl.ID, tbl)
+		}
+		if seen[tbl.ID] {
+			t.Errorf("duplicate table ID %q", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		md := tbl.Markdown()
+		if !strings.Contains(md, tbl.ID) || !strings.Contains(md, "|") {
+			t.Errorf("markdown rendering broken for %q", tbl.ID)
+		}
+	}
+	// Every published panel must be covered.
+	for _, want := range []string{
+		"table3", "ontostats", "fig6-PATIENT", "fig6-RADIO",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h",
+		"fig8-PATIENT", "fig8-RADIO",
+		"fig9-RDS-PATIENT", "fig9-SDS-PATIENT", "fig9-RDS-RADIO", "fig9-SDS-RADIO",
+		"examined", "abl-dedup", "abl-queue", "abl-skip", "abl-store", "ta",
+	} {
+		if !seen[want] {
+			t.Errorf("missing experiment table %q", want)
+		}
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	env := tinyEnv(t)
+	tables, err := Run(env, "table3")
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("Run(table3) = %v, %v", tables, err)
+	}
+	if _, err := Run(env, "nonsense"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/ontology"
+)
+
+// FullScan is the document-ranking baseline of Section 6.2: it computes the
+// exact distance of every document in the collection (using DRC, so the
+// comparison against kNDS isolates the pruning gains) and keeps the k best.
+// Its cost is therefore independent of k, which is exactly the flat-line
+// behaviour of the baseline curves in Figure 9.
+
+// FullScanRDS ranks every document by Ddq and returns the top k.
+func (e *Engine) FullScanRDS(q []ontology.ConceptID, k int, useBL bool) ([]Result, *Metrics, error) {
+	return e.fullScan(false, q, k, useBL)
+}
+
+// FullScanSDS ranks every document by Ddd and returns the top k.
+func (e *Engine) FullScanSDS(queryDoc []ontology.ConceptID, k int, useBL bool) ([]Result, *Metrics, error) {
+	return e.fullScan(true, queryDoc, k, useBL)
+}
+
+func (e *Engine) fullScan(sds bool, rawQuery []ontology.ConceptID, k int, useBL bool) ([]Result, *Metrics, error) {
+	m := &Metrics{}
+	start := time.Now()
+	ioStart := e.ioSnapshot()
+	defer func() {
+		m.TotalTime = time.Since(start)
+		m.IOTime = e.ioSnapshot() - ioStart
+	}()
+
+	q := dedupConcepts(rawQuery)
+	if len(q) == 0 {
+		return nil, m, ErrEmptyQuery
+	}
+	if k <= 0 {
+		k = 10
+	}
+
+	var prep *drc.Prepared
+	var bl *distance.BL
+	t0 := time.Now()
+	if useBL {
+		bl = distance.NewBL(e.o, 0)
+	} else {
+		prep = drc.PrepareCached(e.o, q, 0, e.addrCache)
+	}
+	m.DistanceTime += time.Since(t0)
+
+	hk := newTopK(k)
+	for d := corpus.DocID(0); int(d) < e.numDocs(); d++ {
+		concepts, err := e.fwd.Concepts(d)
+		if err != nil {
+			return nil, m, err
+		}
+		if len(concepts) == 0 {
+			continue
+		}
+		t1 := time.Now()
+		var dist float64
+		switch {
+		case useBL && sds:
+			dist = bl.DocDoc(concepts, q)
+		case useBL:
+			dist = bl.DocQuery(concepts, q)
+		case sds:
+			dist, err = prep.DocDoc(concepts)
+		default:
+			dist, err = prep.DocQuery(concepts)
+		}
+		m.DistanceTime += time.Since(t1)
+		if err != nil {
+			return nil, m, err
+		}
+		m.DocsExamined++
+		m.DRCCalls++
+		hk.offer(Result{Doc: d, Distance: dist})
+	}
+	results := hk.sorted()
+	m.ResultCount = len(results)
+	return results, m, nil
+}

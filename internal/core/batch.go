@@ -1,0 +1,84 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"conceptrank/internal/ontology"
+)
+
+// Batch evaluation: the engine is safe for concurrent queries (its indexes
+// are read-only or internally synchronized), so query workloads — the
+// experiment harness, bulk cohort screens, the paper's suggested
+// MapReduce-style deployment — can fan out over a worker pool. Results are
+// returned in input order; the first error cancels remaining work.
+
+// BatchRDS evaluates many RDS queries concurrently with the given number
+// of workers (<= 0 selects GOMAXPROCS).
+func (e *Engine) BatchRDS(queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.batch(false, queries, opts, workers)
+}
+
+// BatchSDS evaluates many SDS queries concurrently.
+func (e *Engine) BatchSDS(queryDocs [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.batch(true, queryDocs, opts, workers)
+}
+
+func (e *Engine) batch(sds bool, queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([][]Result, len(queries))
+	metrics := make([]*Metrics, len(queries))
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for i := range next {
+				if failed {
+					continue // keep draining so the dispatcher never blocks
+				}
+				var err error
+				if sds {
+					results[i], metrics[i], err = e.SDS(queries[i], opts)
+				} else {
+					results[i], metrics[i], err = e.RDS(queries[i], opts)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed = true
+				}
+			}
+		}()
+	}
+	for i := range queries {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return results, metrics, nil
+}

@@ -1,0 +1,690 @@
+// Package core implements kNDS (k-Nearest Document Search), the
+// early-termination top-k algorithm of Section 5 of Arvanitis et al.
+// (EDBT 2014), for both query types:
+//
+//   - RDS (Relevant Document Search): top-k documents by the
+//     document-query distance Ddq (Eq. 2), and
+//   - SDS (Similar Document Search): top-k documents by the symmetric
+//     document-document distance Ddd (Eq. 3).
+//
+// kNDS runs parallel breadth-first traversals of the ontology starting from
+// each query concept, restricted to valid (up* down*) paths. Documents
+// containing visited concepts accumulate partial distances (Eqs. 5, 7) and
+// lower bounds (Eqs. 6, 8). A candidate is "examined" — its exact distance
+// computed with DRC — only when its error estimate ε = 1 - partial/lower
+// (Eq. 9) drops to the configured threshold, balancing traversal cost
+// against distance-calculation cost. A bounded min-heap of exact distances
+// plus the smallest outstanding lower bound give the paper's
+// early-termination condition.
+//
+// All four optimizations listed at the end of Section 5.3 are implemented:
+// lower-bound pruning against the k-th distance, partial sorting of the
+// candidate list, reusing the accumulated distance when every query concept
+// is covered (skipping DRC), and progressive result emission.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/store"
+)
+
+// Result is one ranked document.
+type Result struct {
+	Doc      corpus.DocID
+	Distance float64
+}
+
+// Options configures a kNDS run. Zero values select the paper's defaults
+// via Normalize.
+type Options struct {
+	// K is the number of results (paper default 10).
+	K int
+	// ErrorThreshold is ε_θ of Eq. 9. 0 waits until a document covers
+	// every query node before examining it; 1 examines a document on first
+	// contact. The paper's tuned defaults are 0.5 (PATIENT) and 0.9
+	// (RADIO).
+	ErrorThreshold float64
+	// QueueLimit bounds the pending BFS queue (paper default 50,000).
+	// When reached, traversal halts and the collected candidates are
+	// examined regardless of ErrorThreshold; traversal then resumes, which
+	// (unlike the paper's implementation) preserves exactness. <= 0 means
+	// unlimited.
+	QueueLimit int
+	// MaxPaths caps Dewey addresses per concept inside DRC (<= 0: no cap).
+	MaxPaths int
+	// DedupVisits deduplicates BFS states per (origin, node, phase).
+	// The paper avoids the bookkeeping and revisits nodes; set false to
+	// reproduce that behaviour (ablation).
+	DedupVisits bool
+	// NoDedup disables visit dedup when true (the zero value of Options
+	// must mean "dedup on", hence the inverted flag).
+	NoDedup bool
+	// UseBL swaps DRC for the brute-force pairwise BL calculator when
+	// computing exact distances (ablation).
+	UseBL bool
+	// NoSkipWhenCovered disables optimization 3 (reuse the accumulated
+	// distance instead of calling DRC when all query nodes are covered).
+	NoSkipWhenCovered bool
+	// Progressive, when non-nil, receives results as soon as they are
+	// provably part of the top-k (optimization 4), before the run ends.
+	Progressive func(Result)
+	// OnWave, when non-nil, receives a snapshot after every BFS wave —
+	// instrumentation for tracing, debugging and the golden tests that
+	// replay the paper's Example 3/4 iterations. The snapshot's slices are
+	// only valid during the callback.
+	OnWave func(WaveInfo)
+}
+
+// WaveInfo is the per-wave traversal snapshot delivered to Options.OnWave.
+type WaveInfo struct {
+	// Depth of the BFS level just expanded (0 = the query nodes).
+	Depth int
+	// Visited lists the (node, origin index) states popped in this wave.
+	Visited []VisitedNode
+	// CoveredDist reports, per discovered unexamined document, the
+	// per-origin distances found so far (-1 = origin not covered yet).
+	CoveredDist map[corpus.DocID][]int32
+}
+
+// VisitedNode is one BFS state pop.
+type VisitedNode struct {
+	Node   ontology.ConceptID
+	Origin int // index into the (deduplicated) query
+}
+
+// Normalize fills in defaults.
+func (o Options) Normalize() Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.QueueLimit == 0 {
+		o.QueueLimit = 50_000
+	}
+	o.DedupVisits = !o.NoDedup
+	return o
+}
+
+// Metrics reports where a query spent its time, matching the stacked
+// components of the paper's Figures 7-9 (distance calculation, ontology
+// traversal, I/O).
+type Metrics struct {
+	TraversalTime time.Duration // BFS expansion, bound maintenance
+	DistanceTime  time.Duration // DRC / BL exact distance computations
+	IOTime        time.Duration // index access time (disk-backed stores)
+	TotalTime     time.Duration
+
+	Iterations     int   // BFS waves completed
+	NodesVisited   int64 // BFS states popped
+	DocsDiscovered int   // documents that entered the candidate list
+	DocsExamined   int   // documents whose exact distance was computed
+	DRCCalls       int   // exact distance computations that ran DRC/BL
+	ForcedExams    int   // examination phases forced by the queue limit
+	ResultCount    int
+}
+
+// ExaminedPrecision returns |top-k| / examined — the fraction of examined
+// documents that made it into the results (Section 6.2 reports 99% for RDS
+// on PATIENT and >60% for SDS).
+func (m *Metrics) ExaminedPrecision() float64 {
+	if m.DocsExamined == 0 {
+		return 0
+	}
+	return float64(m.ResultCount) / float64(m.DocsExamined)
+}
+
+// Engine evaluates RDS and SDS queries against one indexed collection.
+// An Engine is safe for concurrent queries as long as the underlying
+// indexes are (both provided implementations are).
+type Engine struct {
+	o       *ontology.Ontology
+	inv     index.Inverted
+	fwd     index.Forward
+	numDocs func() int
+	io      *store.IOStats // optional: shared with disk indexes for I/O attribution
+	// addrCache memoizes Dewey address enumeration across queries; it is
+	// concurrency-safe and capped. Disabled per query by Options.MaxPaths
+	// (capped enumerations must not pollute the uncapped cache).
+	addrCache *drc.AddressCache
+}
+
+// NewEngine assembles an engine over a fixed-size collection. io may be
+// nil; pass the IOStats shared with disk-backed indexes to have
+// Metrics.IOTime attributed per query.
+func NewEngine(o *ontology.Ontology, inv index.Inverted, fwd index.Forward, numDocs int, io *store.IOStats) *Engine {
+	return NewEngineDynamic(o, inv, fwd, func() int { return numDocs }, io)
+}
+
+// NewEngineDynamic assembles an engine whose collection may grow between
+// queries (the paper's on-the-fly document integration: kNDS needs no
+// distance precomputation, so a freshly indexed EMR is searchable
+// immediately). numDocs is sampled once per query.
+func NewEngineDynamic(o *ontology.Ontology, inv index.Inverted, fwd index.Forward, numDocs func() int, io *store.IOStats) *Engine {
+	return &Engine{o: o, inv: inv, fwd: fwd, numDocs: numDocs, io: io,
+		addrCache: drc.NewAddressCache(o, 0, 0)}
+}
+
+// ErrEmptyQuery is returned for queries with no concepts.
+var ErrEmptyQuery = errors.New("core: query has no concepts")
+
+// RDS returns the k documents most relevant to the query concepts
+// (Definition 1), ordered by ascending Ddq.
+func (e *Engine) RDS(q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.search(false, q, opts.Normalize())
+}
+
+// SDS returns the k documents most similar to the query document's concept
+// set (Definition 2), ordered by ascending Ddd.
+func (e *Engine) SDS(queryDoc []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.search(true, queryDoc, opts.Normalize())
+}
+
+// bfsState is one queued traversal step: node reached from origin q[origin]
+// at the given distance; down records whether the path has started
+// descending (valid paths are up* down*, Section 3.1).
+type bfsState struct {
+	node   ontology.ConceptID
+	origin int32
+	depth  int32
+	down   bool
+}
+
+// docState is the paper's Ld entry: per-candidate accumulated distances.
+type docState struct {
+	coveredA  []int32 // per query-origin min distance; -1 = not covered (Md)
+	nCoveredA int32
+	sumA      int64
+	// SDS direction B (M'd): covered candidate-document concepts.
+	coveredB map[ontology.ConceptID]int32
+	sumB     int64
+	sizeB    int32 // |d|
+	examined bool
+	pruned   bool
+}
+
+const unset = int32(-1)
+
+func (e *Engine) ioSnapshot() time.Duration {
+	if e.io == nil {
+		return 0
+	}
+	return e.io.Time()
+}
+
+func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	m := &Metrics{}
+	start := time.Now()
+	ioStart := e.ioSnapshot()
+	defer func() {
+		m.TotalTime = time.Since(start)
+		m.IOTime = e.ioSnapshot() - ioStart
+	}()
+
+	q := dedupConcepts(rawQuery)
+	if len(q) == 0 {
+		return nil, m, ErrEmptyQuery
+	}
+	// Snapshot the collection size: documents added concurrently become
+	// visible to the next query, not this one.
+	totalDocs := e.numDocs()
+	for _, c := range q {
+		if int(c) >= e.o.NumConcepts() {
+			return nil, m, fmt.Errorf("core: query concept %d outside ontology", c)
+		}
+	}
+	nq := int32(len(q))
+
+	// Exact-distance calculator: DRC with a prepared query side, or the
+	// pairwise BL baseline for the ablation.
+	var prep *drc.Prepared
+	var bl *distance.BL
+	distStart := time.Now()
+	if opts.UseBL {
+		bl = distance.NewBL(e.o, 0)
+	} else {
+		cache := e.addrCache
+		if opts.MaxPaths > 0 {
+			cache = nil // capped enumeration differs from the cached one
+		}
+		prep = drc.PrepareCached(e.o, q, opts.MaxPaths, cache)
+	}
+	m.DistanceTime += time.Since(distStart)
+
+	states := make(map[corpus.DocID]*docState)
+	var live []corpus.DocID // discovered, not yet examined or pruned
+
+	// visited: per (origin, node) phase bits. Bit 1: reached while still
+	// allowed to ascend (up phase); bit 2: reached in descent. An up-phase
+	// visit dominates any later down-phase visit at equal or larger depth.
+	var visited map[uint64]uint8
+	if opts.DedupVisits {
+		visited = make(map[uint64]uint8)
+	}
+	vkey := func(origin int32, node ontology.ConceptID) uint64 {
+		return uint64(origin)<<32 | uint64(node)
+	}
+
+	var queue []bfsState
+	head := 0
+	push := func(s bfsState) {
+		if visited != nil {
+			k := vkey(s.origin, s.node)
+			bits := visited[k]
+			if s.down {
+				if bits != 0 { // up or down already seen
+					return
+				}
+				visited[k] = bits | 2
+			} else {
+				if bits&1 != 0 {
+					return
+				}
+				visited[k] = bits | 3 // up dominates future down visits
+			}
+		}
+		queue = append(queue, s)
+	}
+	for i, qi := range q {
+		push(bfsState{node: qi, origin: int32(i), depth: 0, down: false})
+	}
+
+	// Results heap: max-heap of size <= K holding the best exact distances.
+	hk := newTopK(opts.K)
+	emitted := make(map[corpus.DocID]bool)
+
+	// visit processes one popped state: discover documents containing the
+	// node, then expand valid-path neighbors.
+	visit := func(s bfsState) error {
+		postings, err := e.inv.Postings(s.node)
+		if err != nil {
+			return fmt.Errorf("core: postings(%d): %w", s.node, err)
+		}
+		for _, doc := range postings {
+			st := states[doc]
+			if st == nil {
+				st = &docState{coveredA: make([]int32, nq), nCoveredA: 0}
+				for i := range st.coveredA {
+					st.coveredA[i] = unset
+				}
+				if sds {
+					n, err := e.fwd.NumConcepts(doc)
+					if err != nil {
+						return fmt.Errorf("core: forward(%d): %w", doc, err)
+					}
+					st.sizeB = int32(n)
+					st.coveredB = make(map[ontology.ConceptID]int32)
+				}
+				states[doc] = st
+				live = append(live, doc)
+				m.DocsDiscovered++
+			}
+			if st.examined || st.pruned {
+				continue
+			}
+			if st.coveredA[s.origin] == unset {
+				st.coveredA[s.origin] = s.depth
+				st.nCoveredA++
+				st.sumA += int64(s.depth)
+			}
+			if sds {
+				if _, ok := st.coveredB[s.node]; !ok {
+					st.coveredB[s.node] = s.depth
+					st.sumB += int64(s.depth)
+				}
+			}
+		}
+		// Valid-path expansion: ascending is only allowed before the first
+		// descent (Example 4: {G,F} is never pushed because J was reached
+		// from F by descending).
+		if !s.down {
+			for _, p := range e.o.Parents(s.node) {
+				push(bfsState{node: p, origin: s.origin, depth: s.depth + 1, down: false})
+			}
+		}
+		for _, c := range e.o.Children(s.node) {
+			push(bfsState{node: c, origin: s.origin, depth: s.depth + 1, down: true})
+		}
+		return nil
+	}
+
+	// partial and lower-bound distances (Eqs. 5-8). bound is the smallest
+	// depth still pending in the queue: any uncovered query origin (or
+	// uncovered candidate concept) contributes at least bound.
+	partialOf := func(st *docState) float64 {
+		if !sds {
+			return float64(st.sumA)
+		}
+		p := float64(st.sumA) / float64(nq)
+		if st.sizeB > 0 {
+			p += float64(st.sumB) / float64(st.sizeB)
+		}
+		return p
+	}
+	lowerOf := func(st *docState, bound float64) float64 {
+		// Guard the uncovered terms: at traversal exhaustion bound is +Inf
+		// and a fully covered term must contribute exactly its sum
+		// (0 * Inf would be NaN).
+		uncoveredA := float64(int64(nq) - int64(st.nCoveredA))
+		termA := float64(st.sumA)
+		if uncoveredA > 0 {
+			termA += uncoveredA * bound
+		}
+		if !sds {
+			return termA
+		}
+		lb := termA / float64(nq)
+		if st.sizeB > 0 {
+			termB := float64(st.sumB)
+			if uncoveredB := float64(int(st.sizeB) - len(st.coveredB)); uncoveredB > 0 {
+				termB += uncoveredB * bound
+			}
+			lb += termB / float64(st.sizeB)
+		}
+		return lb
+	}
+	undiscoveredLB := func(bound float64) float64 {
+		if len(states) >= totalDocs {
+			return math.Inf(1)
+		}
+		if !sds {
+			return float64(nq) * bound
+		}
+		return 2 * bound
+	}
+
+	// examine computes the exact distance of a candidate (lines 17-27).
+	examine := func(doc corpus.DocID, st *docState) error {
+		st.examined = true
+		m.DocsExamined++
+		fullyCovered := st.nCoveredA == nq && (!sds || len(st.coveredB) == int(st.sizeB))
+		var dist float64
+		if fullyCovered && !opts.NoSkipWhenCovered {
+			// Optimization 3: BFS first-contact distances are exact, so the
+			// accumulated partial distance is the true distance.
+			dist = partialOf(st)
+		} else {
+			concepts, err := e.fwd.Concepts(doc)
+			if err != nil {
+				return fmt.Errorf("core: forward(%d): %w", doc, err)
+			}
+			t0 := time.Now()
+			switch {
+			case opts.UseBL && sds:
+				dist = bl.DocDoc(concepts, q)
+			case opts.UseBL:
+				dist = bl.DocQuery(concepts, q)
+			case sds:
+				dist, err = prep.DocDoc(concepts)
+			default:
+				dist, err = prep.DocQuery(concepts)
+			}
+			m.DistanceTime += time.Since(t0)
+			if err != nil {
+				return err
+			}
+			m.DRCCalls++
+		}
+		hk.offer(Result{Doc: doc, Distance: dist})
+		return nil
+	}
+
+	type cand struct {
+		doc     corpus.DocID
+		st      *docState
+		lb      float64
+		partial float64
+	}
+
+	// Each BFS depth level yields at most two waves (one if the queue limit
+	// pauses it for a forced examination); the guard is a safety net
+	// against implementation bugs, not a tuning knob.
+	maxWaves := 2*(2*e.o.MaxDepth()+4) + 8
+	lastPauseDepth := int32(-1)
+
+	for wave := 0; ; wave++ {
+		if wave > maxWaves {
+			return nil, m, fmt.Errorf("core: kNDS failed to terminate after %d waves", wave)
+		}
+		forced := head >= len(queue)
+
+		// --- Traversal: expand one BFS depth level. If the pending queue
+		// exceeds QueueLimit, pause once per level for a forced examination
+		// (the paper halts traversal and examines the collected documents),
+		// then resume the level so traversal always makes progress.
+		if head < len(queue) {
+			t0 := time.Now()
+			waveDepth := queue[head].depth
+			var waveVisited []VisitedNode
+			for head < len(queue) && queue[head].depth == waveDepth {
+				if opts.QueueLimit > 0 && len(queue)-head > opts.QueueLimit && lastPauseDepth != waveDepth {
+					lastPauseDepth = waveDepth
+					forced = true
+					m.ForcedExams++
+					break
+				}
+				s := queue[head]
+				head++
+				m.NodesVisited++
+				if opts.OnWave != nil {
+					waveVisited = append(waveVisited, VisitedNode{Node: s.node, Origin: int(s.origin)})
+				}
+				if err := visit(s); err != nil {
+					return nil, m, err
+				}
+			}
+			m.Iterations++
+			if opts.OnWave != nil {
+				info := WaveInfo{Depth: int(waveDepth), Visited: waveVisited,
+					CoveredDist: make(map[corpus.DocID][]int32, len(states))}
+				for doc, st := range states {
+					if !st.examined && !st.pruned {
+						info.CoveredDist[doc] = st.coveredA
+					}
+				}
+				opts.OnWave(info)
+			}
+			// Reclaim consumed queue prefix.
+			if head > 4096 && head > len(queue)/2 {
+				queue = append(queue[:0], queue[head:]...)
+				head = 0
+			}
+			m.TraversalTime += time.Since(t0)
+		}
+
+		bound := math.Inf(1)
+		if head < len(queue) {
+			bound = float64(queue[head].depth)
+		}
+
+		// --- Examination: sort live candidates by lower bound and examine
+		// while the error estimate is within ε_θ (or unconditionally when
+		// traversal cannot refine bounds further).
+		t1 := time.Now()
+		cands := make([]cand, 0, len(live))
+		compacted := live[:0]
+		for _, doc := range live {
+			st := states[doc]
+			if st.examined || st.pruned {
+				continue
+			}
+			compacted = append(compacted, doc)
+			cands = append(cands, cand{doc: doc, st: st, lb: lowerOf(st, bound), partial: partialOf(st)})
+		}
+		live = compacted
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].lb != cands[j].lb {
+				return cands[i].lb < cands[j].lb
+			}
+			return cands[i].doc < cands[j].doc
+		})
+		m.TraversalTime += time.Since(t1)
+
+		for _, c := range cands {
+			kth := hk.kth()
+			if hk.full() && c.lb > kth {
+				// Optimization 1: this candidate and everything after it
+				// (sorted by lb) can never enter the top-k.
+				c.st.pruned = true
+				continue
+			}
+			if hk.full() && c.lb >= kth && !math.IsInf(bound, 1) {
+				// Cannot improve the heap; let traversal refine bounds.
+				break
+			}
+			eps := 0.0
+			if c.lb > 0 {
+				eps = 1 - c.partial/c.lb
+			}
+			if eps > opts.ErrorThreshold && !forced && !math.IsInf(bound, 1) {
+				break
+			}
+			if err := examine(c.doc, c.st); err != nil {
+				return nil, m, err
+			}
+		}
+
+		// --- Early output (optimization 4) and termination.
+		dMinus := undiscoveredLB(bound)
+		for _, doc := range live {
+			st := states[doc]
+			if st.examined || st.pruned {
+				continue
+			}
+			if lb := lowerOf(st, bound); lb < dMinus {
+				dMinus = lb
+			}
+		}
+		if opts.Progressive != nil {
+			for _, r := range hk.items {
+				if !emitted[r.Doc] && r.Distance <= dMinus {
+					emitted[r.Doc] = true
+					opts.Progressive(r)
+				}
+			}
+		}
+		if hk.full() && dMinus >= hk.kth() {
+			break
+		}
+		if head >= len(queue) {
+			// Traversal exhausted; the forced examination above drained
+			// every candidate that could still matter.
+			break
+		}
+	}
+
+	results := hk.sorted()
+	m.ResultCount = len(results)
+	if opts.Progressive != nil {
+		for _, r := range results {
+			if !emitted[r.Doc] {
+				emitted[r.Doc] = true
+				opts.Progressive(r)
+			}
+		}
+	}
+	return results, m, nil
+}
+
+func dedupConcepts(in []ontology.ConceptID) []ontology.ConceptID {
+	seen := make(map[ontology.ConceptID]struct{}, len(in))
+	out := make([]ontology.ConceptID, 0, len(in))
+	for _, c := range in {
+		if _, ok := seen[c]; !ok {
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// topK is a bounded max-heap keeping the k smallest results. Ties on
+// distance are broken toward smaller doc IDs for determinism; eviction uses
+// strictly-smaller comparison so progressively emitted results are never
+// displaced (see Section 5.3, optimization 4).
+type topK struct {
+	k     int
+	items []Result
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (h *topK) full() bool { return len(h.items) >= h.k }
+
+// kth returns the current k-th smallest distance (+Inf while not full).
+func (h *topK) kth() float64 {
+	if !h.full() {
+		return math.Inf(1)
+	}
+	return h.items[0].Distance
+}
+
+func worse(a, b Result) bool {
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	return a.Doc > b.Doc
+}
+
+func (h *topK) offer(r Result) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		h.up(len(h.items) - 1)
+		return
+	}
+	// Eviction is strict on distance: a tie never displaces an incumbent.
+	// This is what makes progressive emission (optimization 4) safe — an
+	// emitted result has distance <= every outstanding lower bound, so no
+	// later candidate can beat it strictly, and ties leave it in place.
+	// Among tied candidates the examination order (sorted by lower bound,
+	// then doc ID) keeps results deterministic.
+	if h.k == 0 || h.items[0].Distance <= r.Distance {
+		return
+	}
+	h.items[0] = r
+	h.down(0)
+}
+
+func (h *topK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *topK) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && worse(h.items[l], h.items[largest]) {
+			largest = l
+		}
+		if r < n && worse(h.items[r], h.items[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (h *topK) sorted() []Result {
+	out := append([]Result(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}

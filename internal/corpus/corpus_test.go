@@ -1,0 +1,121 @@
+package corpus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+func TestAddDedupsAndSorts(t *testing.T) {
+	c := New()
+	id := c.Add("note", 10, []ontology.ConceptID{5, 3, 5, 1, 3})
+	d := c.Doc(id)
+	want := []ontology.ConceptID{1, 3, 5}
+	if len(d.Concepts) != len(want) {
+		t.Fatalf("concepts = %v, want %v", d.Concepts, want)
+	}
+	for i := range want {
+		if d.Concepts[i] != want[i] {
+			t.Fatalf("concepts = %v, want %v", d.Concepts, want)
+		}
+	}
+	if !c.Contains(id, 3) || c.Contains(id, 4) {
+		t.Error("Contains is wrong")
+	}
+}
+
+func TestAddDoesNotAliasInput(t *testing.T) {
+	c := New()
+	in := []ontology.ConceptID{2, 1}
+	id := c.Add("n", 0, in)
+	in[0] = 99
+	if c.Doc(id).Concepts[1] == 99 {
+		t.Error("Add aliased the caller's slice")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	c.Add("a", 100, []ontology.ConceptID{1, 2, 3})
+	c.Add("b", 300, []ontology.ConceptID{2, 3, 4, 5})
+	c.Add("c", 200, []ontology.ConceptID{1})
+	s := c.ComputeStats()
+	if s.TotalDocuments != 3 {
+		t.Errorf("TotalDocuments = %d", s.TotalDocuments)
+	}
+	if s.DistinctConcepts != 5 {
+		t.Errorf("DistinctConcepts = %d, want 5", s.DistinctConcepts)
+	}
+	if s.AvgTokensPerDoc != 200 {
+		t.Errorf("AvgTokensPerDoc = %v, want 200", s.AvgTokensPerDoc)
+	}
+	if got := s.AvgConceptsPerDoc; got < 2.66 || got > 2.67 {
+		t.Errorf("AvgConceptsPerDoc = %v, want 8/3", got)
+	}
+	cf := c.ConceptFrequencies()
+	if cf[1] != 2 || cf[2] != 2 || cf[4] != 1 {
+		t.Errorf("frequencies wrong: %v", cf)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	s := New().ComputeStats()
+	if s.TotalDocuments != 0 || s.AvgConceptsPerDoc != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c := New()
+	for i := 0; i < 200; i++ {
+		n := r.Intn(40)
+		concepts := make([]ontology.ConceptID, n)
+		for j := range concepts {
+			concepts[j] = ontology.ConceptID(r.Intn(5000))
+		}
+		c.Add("doc", r.Intn(1000), concepts)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != c.NumDocs() {
+		t.Fatalf("doc count %d != %d", got.NumDocs(), c.NumDocs())
+	}
+	for i := 0; i < c.NumDocs(); i++ {
+		a, b := c.Doc(DocID(i)), got.Doc(DocID(i))
+		if a.Name != b.Name || a.TokenCount != b.TokenCount || len(a.Concepts) != len(b.Concepts) {
+			t.Fatalf("doc %d changed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Concepts {
+			if a.Concepts[j] != b.Concepts[j] {
+				t.Fatalf("doc %d concepts changed", i)
+			}
+		}
+	}
+}
+
+func TestSerializeDetectsCorruption(t *testing.T) {
+	c := New()
+	c.Add("x", 5, []ontology.ConceptID{1, 2, 3})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x55
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("corruption not detected")
+	}
+	if _, err := ReadFrom(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Error("truncation not detected")
+	}
+}

@@ -1,0 +1,42 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+// FuzzReadFrom feeds arbitrary bytes to the collection deserializer: no
+// panics, and accepted inputs must round-trip stably.
+func FuzzReadFrom(f *testing.F) {
+	c := New()
+	c.Add("a", 12, []ontology.ConceptID{1, 5, 9})
+	c.Add("b", 0, nil)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CRCOL\x01"))
+	f.Add(bytes.Repeat([]byte{0x01}, 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted collection fails to serialize: %v", err)
+		}
+		again, err := ReadFrom(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized collection rejected: %v", err)
+		}
+		if again.NumDocs() != got.NumDocs() {
+			t.Fatal("round trip changed document count")
+		}
+	})
+}

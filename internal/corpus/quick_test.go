@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"conceptrank/internal/ontology"
+)
+
+// quickDoc is a generatable document for testing/quick.
+type quickDoc struct {
+	Name     string
+	Tokens   uint16
+	Concepts []uint16
+}
+
+// Generate implements quick.Generator with bounded sizes.
+func (quickDoc) Generate(r *rand.Rand, size int) reflect.Value {
+	d := quickDoc{
+		Name:   string(rune('a' + r.Intn(26))),
+		Tokens: uint16(r.Intn(1000)),
+	}
+	n := r.Intn(size%32 + 1)
+	for i := 0; i < n; i++ {
+		d.Concepts = append(d.Concepts, uint16(r.Intn(500)))
+	}
+	return reflect.ValueOf(d)
+}
+
+func (d quickDoc) concepts() []ontology.ConceptID {
+	out := make([]ontology.ConceptID, len(d.Concepts))
+	for i, c := range d.Concepts {
+		out[i] = ontology.ConceptID(c)
+	}
+	return out
+}
+
+// TestQuickSerializeRoundTrip: any collection built from generated
+// documents round-trips through the binary format byte-identically on a
+// second pass.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(docs []quickDoc) bool {
+		c := New()
+		for _, d := range docs {
+			c.Add(d.Name, int(d.Tokens), d.concepts())
+		}
+		var buf1 bytes.Buffer
+		if _, err := c.WriteTo(&buf1); err != nil {
+			return false
+		}
+		back, err := ReadFrom(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			return false
+		}
+		var buf2 bytes.Buffer
+		if _, err := back.WriteTo(&buf2); err != nil {
+			return false
+		}
+		return bytes.Equal(buf1.Bytes(), buf2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddInvariants: concept sets are always sorted, unique, and
+// Contains agrees with membership.
+func TestQuickAddInvariants(t *testing.T) {
+	f := func(d quickDoc, probe uint16) bool {
+		c := New()
+		id := c.Add(d.Name, int(d.Tokens), d.concepts())
+		got := c.Doc(id).Concepts
+		inInput := false
+		for _, x := range d.Concepts {
+			if x == probe {
+				inInput = true
+			}
+		}
+		for i := range got {
+			if i > 0 && got[i-1] >= got[i] {
+				return false // not strictly sorted / not deduplicated
+			}
+		}
+		return c.Contains(id, ontology.ConceptID(probe)) == inInput
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStatsConsistency: DistinctConcepts is never more than the sum
+// of document sizes and never less than the size of the largest document.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(docs []quickDoc) bool {
+		c := New()
+		total, largest := 0, 0
+		for _, d := range docs {
+			id := c.Add(d.Name, int(d.Tokens), d.concepts())
+			n := len(c.Doc(id).Concepts)
+			total += n
+			if n > largest {
+				largest = n
+			}
+		}
+		s := c.ComputeStats()
+		return s.DistinctConcepts <= total && s.DistinctConcepts >= largest &&
+			s.TotalDocuments == len(docs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

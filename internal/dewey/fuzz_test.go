@@ -1,0 +1,28 @@
+package dewey
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that accepted inputs
+// round-trip through String exactly.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "1", "1.1.1.2", "3.1.2.1.1.1", "10.200.3",
+		"0", "1..2", "a.b", ".", "1.", "4294967295", "99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		out := p.String()
+		q, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", out, s, err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("round trip changed path: %v vs %v", p, q)
+		}
+	})
+}

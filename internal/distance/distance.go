@@ -1,0 +1,180 @@
+// Package distance implements the semantic distance measures of Section 3.2
+// of Arvanitis et al. (EDBT 2014) by direct graph computation, without the
+// D-Radix index. It provides:
+//
+//   - the concept-concept shortest valid path distance of Rada et al.
+//     (a path is valid only if it passes through a common ancestor,
+//     i.e. has the shape up* down*),
+//   - document-concept (Eq. 1), document-query (Eq. 2) and the symmetric
+//     document-document distance of Melton et al. (Eq. 3),
+//   - the BL baseline of Section 4.1/6.2: an O(nq*nd) pairwise calculator
+//     used as the comparison point for DRC in Figure 6.
+//
+// These implementations are deliberately simple; they are the ground truth
+// the DRC and kNDS test suites verify against, and the baseline the
+// benchmark harness measures against.
+package distance
+
+import (
+	"math"
+
+	"conceptrank/internal/ontology"
+)
+
+// Infinite marks an unreachable distance (cannot occur in a single-rooted
+// ontology, but callers may pass concept sets from different ontologies).
+const Infinite = math.MaxInt32
+
+// UpMap maps each ancestor of a concept (including the concept itself) to
+// the minimum number of is-a edges leading up to it.
+type UpMap map[ontology.ConceptID]int32
+
+// ComputeUpMap runs an upward BFS from c over parent edges and returns the
+// minimal up-distance to every ancestor. The shortest valid path between
+// ci and cj is min over common ancestors a of up(ci,a) + up(cj,a).
+func ComputeUpMap(o *ontology.Ontology, c ontology.ConceptID) UpMap {
+	m := UpMap{c: 0}
+	frontier := []ontology.ConceptID{c}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []ontology.ConceptID
+		for _, n := range frontier {
+			for _, p := range o.Parents(n) {
+				if _, seen := m[p]; !seen {
+					m[p] = d
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	return m
+}
+
+// ConceptDistance returns the shortest valid path distance D(ci,cj),
+// Infinite if the concepts share no ancestor. It is symmetric and zero iff
+// ci == cj.
+func ConceptDistance(o *ontology.Ontology, ci, cj ontology.ConceptID) int {
+	return ConceptDistanceMaps(ComputeUpMap(o, ci), ComputeUpMap(o, cj))
+}
+
+// ConceptDistanceMaps combines two precomputed up-maps. Iterating over the
+// smaller map keeps the intersection cost proportional to the smaller
+// ancestor set.
+func ConceptDistanceMaps(a, b UpMap) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	best := int32(math.MaxInt32)
+	for anc, da := range a {
+		if db, ok := b[anc]; ok && da+db < best {
+			best = da + db
+		}
+	}
+	if best == math.MaxInt32 {
+		return Infinite
+	}
+	return int(best)
+}
+
+// Cache memoizes up-maps per concept. The BL baseline computes every
+// pairwise concept distance of a document pair; without memoization each
+// pair would redo two BFS traversals. Not safe for concurrent use.
+type Cache struct {
+	o       *ontology.Ontology
+	maps    map[ontology.ConceptID]UpMap
+	maxSize int
+}
+
+// NewCache creates a Cache holding at most maxSize up-maps (0 = unbounded).
+func NewCache(o *ontology.Ontology, maxSize int) *Cache {
+	return &Cache{o: o, maps: make(map[ontology.ConceptID]UpMap), maxSize: maxSize}
+}
+
+// UpMap returns the memoized up-map of c.
+func (c *Cache) UpMap(id ontology.ConceptID) UpMap {
+	if m, ok := c.maps[id]; ok {
+		return m
+	}
+	m := ComputeUpMap(c.o, id)
+	if c.maxSize > 0 && len(c.maps) >= c.maxSize {
+		// Simple random-ish eviction: drop one arbitrary entry. The access
+		// pattern of BL (documents scanned once) has little reuse locality,
+		// so LRU buys nothing over this.
+		for k := range c.maps {
+			delete(c.maps, k)
+			break
+		}
+	}
+	c.maps[id] = m
+	return m
+}
+
+// Distance returns the concept-concept distance using the cache.
+func (c *Cache) Distance(ci, cj ontology.ConceptID) int {
+	if ci == cj {
+		return 0
+	}
+	return ConceptDistanceMaps(c.UpMap(ci), c.UpMap(cj))
+}
+
+// BL is the baseline document-distance calculator of Section 4.1: it
+// evaluates Eqs. 1-3 by computing all pairwise concept distances of the two
+// concept sets (O(nq*nd) distance computations).
+type BL struct {
+	cache *Cache
+}
+
+// NewBL returns a baseline calculator over o. cacheSize bounds the up-map
+// cache (0 = unbounded).
+func NewBL(o *ontology.Ontology, cacheSize int) *BL {
+	return &BL{cache: NewCache(o, cacheSize)}
+}
+
+// DocConcept evaluates Ddc(d, c) = min_{ci in d} D(ci, c) (Eq. 1).
+func (b *BL) DocConcept(d []ontology.ConceptID, c ontology.ConceptID) int {
+	best := Infinite
+	cm := b.cache.UpMap(c)
+	for _, ci := range d {
+		if ci == c {
+			return 0
+		}
+		if dist := ConceptDistanceMaps(b.cache.UpMap(ci), cm); dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+// DocQuery evaluates Ddq(d, q) = sum_i Ddc(d, q_i) (Eq. 2).
+func (b *BL) DocQuery(d, q []ontology.ConceptID) float64 {
+	total := 0.0
+	for _, qi := range q {
+		total += float64(b.DocConcept(d, qi))
+	}
+	return total
+}
+
+// DocDoc evaluates the symmetric Melton distance (Eq. 3):
+//
+//	Ddd(d1,d2) = sum_{ci in d1} Ddc(d2,ci)/|C1| + sum_{cj in d2} Ddc(d1,cj)/|C2|
+//
+// Documents with no concepts have distance 0 to everything by convention
+// (the sums are empty).
+func (b *BL) DocDoc(d1, d2 []ontology.ConceptID) float64 {
+	total := 0.0
+	if len(d1) > 0 {
+		sum := 0.0
+		for _, ci := range d1 {
+			sum += float64(b.DocConcept(d2, ci))
+		}
+		total += sum / float64(len(d1))
+	}
+	if len(d2) > 0 {
+		sum := 0.0
+		for _, cj := range d2 {
+			sum += float64(b.DocConcept(d1, cj))
+		}
+		total += sum / float64(len(d2))
+	}
+	return total
+}

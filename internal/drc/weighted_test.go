@@ -1,0 +1,141 @@
+package drc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+func uniform(ontology.ConceptID) float64 { return 1 }
+
+// TestWeightedReducesToUnweighted: with w ≡ 1 the weighted forms must
+// equal Eqs. 2 and 3 exactly (up to the 1/|q| normalization of Ddq, which
+// the weighted form builds in).
+func TestWeightedReducesToUnweighted(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 20; iter++ {
+		o := randomDAGOntology(r, 10+r.Intn(60), 0.3)
+		calc := NewCalculator(o, 0)
+		d := randomConcepts(r, o, 1+r.Intn(4))
+		q := randomConcepts(r, o, 1+r.Intn(4))
+
+		wq, err := calc.DocQueryWeighted(d, q, uniform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := calc.DocQuery(d, q) / float64(len(q)); math.Abs(wq-want) > 1e-9 {
+			t.Fatalf("iter %d: weighted Ddq %v, want %v", iter, wq, want)
+		}
+		wd, err := calc.DocDocWeighted(d, q, uniform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := calc.DocDoc(d, q); math.Abs(wd-want) > 1e-9 {
+			t.Fatalf("iter %d: weighted Ddd %v, want %v", iter, wd, want)
+		}
+	}
+}
+
+// TestWeightsShiftRanking: up-weighting the concept on which two documents
+// differ must increase their weighted distance relative to down-weighting
+// it.
+func TestWeightsShiftRanking(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	calc := NewCalculator(pf.O, 0)
+	// d1 and d2 share F exactly and differ on M vs T (far apart).
+	d1 := pf.Concepts("F", "M")
+	d2 := pf.Concepts("F", "T")
+
+	heavyDiff := func(c ontology.ConceptID) float64 {
+		if c == pf.Concept("F") {
+			return 0.1
+		}
+		return 10
+	}
+	lightDiff := func(c ontology.ConceptID) float64 {
+		if c == pf.Concept("F") {
+			return 10
+		}
+		return 0.1
+	}
+	heavy, err := calc.DocDocWeighted(d1, d2, heavyDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := calc.DocDocWeighted(d1, d2, lightDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy <= light {
+		t.Fatalf("up-weighting the disagreement should raise distance: heavy=%v light=%v", heavy, light)
+	}
+	// Identity still holds regardless of weights.
+	if self, _ := calc.DocDocWeighted(d1, d1, heavyDiff); self != 0 {
+		t.Fatalf("weighted self distance = %v", self)
+	}
+}
+
+// TestWeightedSymmetry: Ddd_w stays symmetric.
+func TestWeightedSymmetry(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	calc := NewCalculator(pf.O, 0)
+	w := func(c ontology.ConceptID) float64 { return 1 + float64(c%5) }
+	d1 := pf.Concepts("F", "R", "T")
+	d2 := pf.Concepts("I", "L", "U")
+	a, err := calc.DocDocWeighted(d1, d2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := calc.DocDocWeighted(d2, d1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("weighted Ddd asymmetric: %v vs %v", a, b)
+	}
+}
+
+// TestZeroWeightConceptsIgnored: zero-weight concepts contribute nothing,
+// equivalent to removing them from the document.
+func TestZeroWeightConceptsIgnored(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	calc := NewCalculator(pf.O, 0)
+	q := pf.Concepts("I", "L", "U")
+	d := pf.Concepts("F", "R", "T", "V")
+	drop := pf.Concept("T")
+	w := func(c ontology.ConceptID) float64 {
+		if c == drop {
+			return 0
+		}
+		return 1
+	}
+	// Direction doc->query ignores T; direction query->doc still sees T as
+	// a nearest-neighbor target (weights apply to the summing side only,
+	// exactly as in Melton's definition).
+	got, err := calc.DocDocWeighted(d, q, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-compute with the tested unweighted machinery: doc side without
+	// T in the sum, query side unchanged.
+	dr, err := Build(pf.O, d, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumDoc := 0.0
+	for _, c := range []string{"F", "R", "V"} {
+		_, dq, _ := dr.NodeDistances(pf.Concept(c))
+		sumDoc += float64(dq)
+	}
+	sumQ := 0.0
+	for _, c := range q {
+		dd, _, _ := dr.NodeDistances(c)
+		sumQ += float64(dd)
+	}
+	want := sumDoc/3 + sumQ/3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("zero-weight handling: got %v, want %v", got, want)
+	}
+}

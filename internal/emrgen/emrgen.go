@@ -1,0 +1,195 @@
+// Package emrgen generates synthetic EMR corpora calibrated to the two
+// MIMIC-II-derived collections of Table 3 in Arvanitis et al. (EDBT 2014):
+//
+//	          docs    avg tokens/doc  avg concepts/doc  distinct concepts
+//	PATIENT     983        8,184           706.6             16,811
+//	RADIO    12,373          273.7         125.3              8,629
+//
+// PATIENT documents concatenate every note of a patient, so they are large
+// and their concepts cluster densely in the ontology; RADIO documents are
+// short radiology reports with sparsely distributed concepts. Both regimes
+// matter: the paper's ε_θ sensitivity analysis (Figure 7) hinges on exactly
+// this density difference.
+//
+// Clustering is modeled with a random-walk concept sampler: with
+// probability Clustering the next concept is a short ontology walk from the
+// previous one, otherwise a fresh uniform draw. The generator can emit
+// either concept sets directly (the fast path used by the benchmark
+// harness) or clinical-note text that exercises the full NLP pipeline of
+// internal/nlp, including abbreviated and negated mentions.
+package emrgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+)
+
+// Profile configures one synthetic collection.
+type Profile struct {
+	Name            string
+	NumDocs         int
+	ConceptsPerDoc  float64 // mean of a lognormal-ish distribution
+	ConceptsStdDev  float64
+	TokensPerDoc    float64 // only used for Table 3 bookkeeping / text gen
+	Clustering      float64 // probability of random-walk continuation
+	DistinctTargets int     // approximate distinct concept pool size
+	Seed            int64
+}
+
+// Patient returns the PATIENT profile scaled by scale in both document
+// count and per-document size (scale 1.0 reproduces Table 3's shape).
+func Patient(scale float64, seed int64) Profile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Profile{
+		Name:            "PATIENT",
+		NumDocs:         max(4, int(983*scale)),
+		ConceptsPerDoc:  math.Max(4, 706.6*scale),
+		ConceptsStdDev:  math.Max(2, 250*scale),
+		TokensPerDoc:    8184 * scale,
+		Clustering:      0.85,
+		DistinctTargets: max(16, int(16811*scale)),
+		Seed:            seed,
+	}
+}
+
+// Radio returns the RADIO profile scaled by scale.
+func Radio(scale float64, seed int64) Profile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Profile{
+		Name:            "RADIO",
+		NumDocs:         max(8, int(12373*scale)),
+		ConceptsPerDoc:  math.Max(2, 125.3*scale),
+		ConceptsStdDev:  math.Max(1, 60*scale),
+		TokensPerDoc:    273.7,
+		Clustering:      0.25,
+		DistinctTargets: max(16, int(8629*scale)),
+		Seed:            seed,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// conceptPool selects the distinct-concept universe of a collection: a
+// random subset of sufficiently deep concepts (the paper's depth filter
+// would remove shallow ones anyway).
+func conceptPool(o *ontology.Ontology, r *rand.Rand, size, minDepth int) []ontology.ConceptID {
+	var eligible []ontology.ConceptID
+	for c := 0; c < o.NumConcepts(); c++ {
+		if o.Depth(ontology.ConceptID(c)) >= minDepth {
+			eligible = append(eligible, ontology.ConceptID(c))
+		}
+	}
+	r.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	if size > len(eligible) {
+		size = len(eligible)
+	}
+	return eligible[:size]
+}
+
+// topicDepth is the hierarchy level whose ancestors define "topics":
+// concepts sharing a depth-4 ancestor are ontologically close (they also
+// pass the paper's default depth filter).
+const topicDepth = 4
+
+// walker draws clustered concept sequences from the pool. Pool concepts are
+// bucketed by a representative ancestor at topicDepth; with probability
+// clustering the next draw stays inside the current document's topic
+// bucket, otherwise a fresh uniform draw switches topics. High clustering
+// (PATIENT) concentrates a document's concepts in few ontology
+// neighborhoods; low clustering (RADIO) approaches uniform sampling.
+type walker struct {
+	o       *ontology.Ontology
+	r       *rand.Rand
+	pool    []ontology.ConceptID
+	buckets map[ontology.ConceptID][]ontology.ConceptID
+	topicOf map[ontology.ConceptID]ontology.ConceptID
+	current ontology.ConceptID // current topic ancestor
+	started bool
+}
+
+func newWalker(o *ontology.Ontology, r *rand.Rand, pool []ontology.ConceptID) *walker {
+	w := &walker{
+		o: o, r: r, pool: pool,
+		buckets: make(map[ontology.ConceptID][]ontology.ConceptID),
+		topicOf: make(map[ontology.ConceptID]ontology.ConceptID, len(pool)),
+	}
+	for _, c := range pool {
+		t := w.topicAncestor(c)
+		w.topicOf[c] = t
+		w.buckets[t] = append(w.buckets[t], c)
+	}
+	return w
+}
+
+// topicAncestor walks first-parent links up to topicDepth (or stops at the
+// concept itself if it is at most that deep).
+func (w *walker) topicAncestor(c ontology.ConceptID) ontology.ConceptID {
+	cur := c
+	for w.o.Depth(cur) > topicDepth {
+		parents := w.o.Parents(cur)
+		if len(parents) == 0 {
+			break
+		}
+		cur = parents[0]
+	}
+	return cur
+}
+
+// next returns the next concept for the current document.
+func (w *walker) next(clustering float64) ontology.ConceptID {
+	if w.started && w.r.Float64() < clustering {
+		bucket := w.buckets[w.current]
+		if len(bucket) > 0 {
+			return bucket[w.r.Intn(len(bucket))]
+		}
+	}
+	c := w.pool[w.r.Intn(len(w.pool))]
+	w.current = w.topicOf[c]
+	w.started = true
+	return c
+}
+
+// GenerateConceptSets builds a collection of concept-set documents directly
+// (no text). This is the fast path for benchmarks.
+func GenerateConceptSets(o *ontology.Ontology, p Profile) (*corpus.Collection, error) {
+	if p.NumDocs <= 0 {
+		return nil, fmt.Errorf("emrgen: profile %q has no documents", p.Name)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	pool := conceptPool(o, r, p.DistinctTargets, 4)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("emrgen: ontology too shallow for profile %q", p.Name)
+	}
+	w := newWalker(o, r, pool)
+	coll := corpus.New()
+	for i := 0; i < p.NumDocs; i++ {
+		n := int(p.ConceptsPerDoc + r.NormFloat64()*p.ConceptsStdDev)
+		if n < 1 {
+			n = 1
+		}
+		if n > 4*len(pool) {
+			n = 4 * len(pool)
+		}
+		concepts := make([]ontology.ConceptID, 0, n)
+		w.started = false // each document starts a fresh cluster seed
+		for j := 0; j < n; j++ {
+			concepts = append(concepts, w.next(p.Clustering))
+		}
+		tokens := int(p.TokensPerDoc * (0.5 + r.Float64()))
+		coll.Add(fmt.Sprintf("%s-%05d", p.Name, i), tokens, concepts)
+	}
+	return coll, nil
+}

@@ -1,0 +1,156 @@
+package emrgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/nlp"
+	"conceptrank/internal/ontogen"
+	"conceptrank/internal/ontology"
+)
+
+func testOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	o, err := ontogen.Generate(ontogen.Config{NumConcepts: 4000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestGenerateConceptSetsMatchesProfile(t *testing.T) {
+	o := testOntology(t)
+	p := Profile{
+		Name: "TEST", NumDocs: 150, ConceptsPerDoc: 40, ConceptsStdDev: 10,
+		TokensPerDoc: 300, Clustering: 0.5, DistinctTargets: 800, Seed: 5,
+	}
+	coll, err := GenerateConceptSets(o, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := coll.ComputeStats()
+	if s.TotalDocuments != 150 {
+		t.Errorf("docs = %d", s.TotalDocuments)
+	}
+	// Dedup inside documents shrinks the mean a little; allow slack.
+	if s.AvgConceptsPerDoc < 25 || s.AvgConceptsPerDoc > 45 {
+		t.Errorf("AvgConceptsPerDoc = %v, profile mean 40", s.AvgConceptsPerDoc)
+	}
+	if s.DistinctConcepts > 800 {
+		t.Errorf("DistinctConcepts = %d exceeds pool %d", s.DistinctConcepts, 800)
+	}
+	if s.AvgTokensPerDoc < 150 || s.AvgTokensPerDoc > 450 {
+		t.Errorf("AvgTokensPerDoc = %v, profile mean 300", s.AvgTokensPerDoc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	o := testOntology(t)
+	p := Radio(0.01, 3)
+	a, err := GenerateConceptSets(o, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateConceptSets(o, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDocs() != b.NumDocs() {
+		t.Fatal("nondeterministic doc count")
+	}
+	for i := 0; i < a.NumDocs(); i++ {
+		ca, cb := a.Doc(corpus.DocID(i)).Concepts, b.Doc(corpus.DocID(i)).Concepts
+		if len(ca) != len(cb) {
+			t.Fatalf("doc %d differs across runs", i)
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("doc %d concept %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPatientDenserThanRadio(t *testing.T) {
+	o := testOntology(t)
+	pat, err := GenerateConceptSets(o, Patient(0.02, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rad, err := GenerateConceptSets(o, Radio(0.02, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PATIENT's random-walk clustering must yield smaller average pairwise
+	// concept distances within a document than RADIO's mostly-uniform
+	// sampling.
+	cache := distance.NewCache(o, 0)
+	r := rand.New(rand.NewSource(1))
+	avgIntraDist := func(c *corpus.Collection) float64 {
+		total, count := 0.0, 0
+		for i := 0; i < c.NumDocs(); i++ {
+			cs := c.Doc(corpus.DocID(i)).Concepts
+			if len(cs) < 2 {
+				continue
+			}
+			for s := 0; s < 10; s++ {
+				a, b := cs[r.Intn(len(cs))], cs[r.Intn(len(cs))]
+				if a == b {
+					continue
+				}
+				total += float64(cache.Distance(a, b))
+				count++
+			}
+		}
+		if count == 0 {
+			return 0
+		}
+		return total / float64(count)
+	}
+	dp := avgIntraDist(pat)
+	dr := avgIntraDist(rad)
+	t.Logf("avg intra-doc distance: PATIENT=%.2f RADIO=%.2f", dp, dr)
+	if dp >= dr {
+		t.Errorf("PATIENT intra-doc distance %.2f should be below RADIO %.2f", dp, dr)
+	}
+}
+
+func TestGenerateNotesRoundTripsThroughNLP(t *testing.T) {
+	o := testOntology(t)
+	matcher := nlp.NewMatcher(o)
+	p := Profile{
+		Name: "NOTES", NumDocs: 30, ConceptsPerDoc: 12, ConceptsStdDev: 3,
+		TokensPerDoc: 200, Clustering: 0.4, DistinctTargets: 500, Seed: 21,
+	}
+	coll, notes, err := GenerateNotes(o, matcher, p, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.NumDocs() != 30 || len(notes) != 30 {
+		t.Fatalf("%d docs, %d notes", coll.NumDocs(), len(notes))
+	}
+	for i, note := range notes {
+		got := map[ontology.ConceptID]bool{}
+		for _, c := range coll.Doc(corpus.DocID(i)).Concepts {
+			got[c] = true
+		}
+		for _, c := range note.Positive {
+			if !got[c] {
+				t.Fatalf("doc %d: positive concept %d (%q) missing from indexed set\nnote: %s",
+					i, c, o.Name(c), note.Text)
+			}
+		}
+		for _, c := range note.Negated {
+			if got[c] {
+				t.Fatalf("doc %d: negated concept %d (%q) leaked into indexed set\nnote: %s",
+					i, c, o.Name(c), note.Text)
+			}
+		}
+		if len(got) != len(note.Positive) {
+			t.Fatalf("doc %d: indexed %d concepts, ground truth %d (spurious matches?)",
+				i, len(got), len(note.Positive))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package emrgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/nlp"
+	"conceptrank/internal/ontology"
+)
+
+// Clinical-note text generation: renders concept sets as prose with
+// abbreviations and negated mentions, so corpora can be built through the
+// full NLP pipeline exactly as the paper built its collections through
+// MetaMap (Section 6.1: abbreviation expansion, concept mapping, dropping
+// negated concepts).
+
+var sentenceTemplates = []string{
+	"Patient presents with %s.",
+	"History of %s.",
+	"Assessment indicates %s.",
+	"Follow up for %s.",
+	"Exam notable for %s.",
+	"Imaging consistent with %s.",
+}
+
+var negatedTemplates = []string{
+	"No evidence of %s.",
+	"Patient denies %s.",
+	"Negative for %s.",
+	"Without %s.",
+	"Absence of %s.",
+}
+
+var fillerSentences = []string{
+	"Vital signs stable.",
+	"Plan discussed with patient.",
+	"Will continue current medications.",
+	"Return in two weeks.",
+	"Labs reviewed.",
+}
+
+// Note is one generated clinical note plus its ground-truth annotation.
+type Note struct {
+	Text string
+	// Positive lists the concepts mentioned affirmatively; Negated the
+	// concepts mentioned under negation (and not also positively).
+	Positive []ontology.ConceptID
+	Negated  []ontology.ConceptID
+}
+
+// termFor picks a surface form for a concept: primary term, synonym, or
+// abbreviation when available.
+func termFor(o *ontology.Ontology, r *rand.Rand, c ontology.ConceptID) string {
+	forms := append([]string{o.Name(c)}, o.Synonyms(c)...)
+	return forms[r.Intn(len(forms))]
+}
+
+// RenderNote writes prose mentioning positive concepts affirmatively and
+// negated ones under negation triggers, interleaved with filler.
+func RenderNote(o *ontology.Ontology, r *rand.Rand, positive, negated []ontology.ConceptID) Note {
+	var b strings.Builder
+	for _, c := range positive {
+		fmt.Fprintf(&b, sentenceTemplates[r.Intn(len(sentenceTemplates))], termFor(o, r, c))
+		b.WriteByte(' ')
+		if r.Intn(3) == 0 {
+			b.WriteString(fillerSentences[r.Intn(len(fillerSentences))])
+			b.WriteByte(' ')
+		}
+	}
+	for _, c := range negated {
+		fmt.Fprintf(&b, negatedTemplates[r.Intn(len(negatedTemplates))], termFor(o, r, c))
+		b.WriteByte(' ')
+	}
+	return Note{Text: strings.TrimSpace(b.String()), Positive: positive, Negated: negated}
+}
+
+// GenerateNotes produces documents as clinical-note text and runs them
+// through the NLP pipeline to build the collection, returning both. A
+// fraction negatedFrac of each document's sampled concepts is rendered
+// under negation (and therefore must NOT appear in the indexed concept
+// set).
+func GenerateNotes(o *ontology.Ontology, matcher *nlp.Matcher, p Profile, negatedFrac float64) (*corpus.Collection, []Note, error) {
+	r := rand.New(rand.NewSource(p.Seed + 1))
+	pool := conceptPool(o, r, p.DistinctTargets, 4)
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("emrgen: ontology too shallow for profile %q", p.Name)
+	}
+	w := newWalker(o, r, pool)
+	coll := corpus.New()
+	notes := make([]Note, 0, p.NumDocs)
+	for i := 0; i < p.NumDocs; i++ {
+		n := int(p.ConceptsPerDoc + r.NormFloat64()*p.ConceptsStdDev)
+		if n < 1 {
+			n = 1
+		}
+		seen := make(map[ontology.ConceptID]bool, n)
+		var sampled []ontology.ConceptID
+		w.started = false
+		for j := 0; j < n; j++ {
+			c := w.next(p.Clustering)
+			if !seen[c] {
+				seen[c] = true
+				sampled = append(sampled, c)
+			}
+		}
+		nNeg := int(float64(len(sampled)) * negatedFrac)
+		negated := sampled[:nNeg]
+		positive := sampled[nNeg:]
+		note := RenderNote(o, r, positive, negated)
+		concepts := matcher.ConceptSet(note.Text)
+		coll.Add(fmt.Sprintf("%s-note-%05d", p.Name, i), len(strings.Fields(note.Text)), concepts)
+		notes = append(notes, note)
+	}
+	return coll, notes, nil
+}

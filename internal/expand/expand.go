@@ -1,0 +1,176 @@
+// Package expand implements ontology-based query expansion on top of the
+// concept-ranking machinery — the usage pattern the paper's related work
+// highlights (Lu et al. on PubMed/MeSH, Matos et al. on gene queries) and
+// whose distance-merging rule the paper pins down in footnote 3 of
+// Section 3.2: when the scores of documents produced by multiple queries
+// are merged, each Ddq(d, q_i) is normalized by the size of q_i.
+//
+// Two pieces are provided:
+//
+//   - Expand: grow a seed concept set with ontologically close concepts
+//     (valid-path BFS, weight 1/(1+distance)), e.g. to offer the user
+//     related search terms;
+//   - MergedRDS: rank documents against several queries at once by the
+//     normalized sum of per-query distances, computing all per-query
+//     distances from a single D-Radix per document.
+package expand
+
+import (
+	"errors"
+	"sort"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+)
+
+// Expansion is one suggested concept with its provenance.
+type Expansion struct {
+	Concept  ontology.ConceptID
+	Source   ontology.ConceptID // the seed it expands
+	Distance int                // valid-path distance from the seed
+	Weight   float64            // 1 / (1 + Distance)
+}
+
+// Expand returns the concepts within radius of each seed (excluding the
+// seeds themselves), at most maxPerSeed per seed, nearest first. Ties are
+// broken by concept ID for determinism. The traversal follows valid
+// (up* down*) paths only, like every distance in this library.
+func Expand(o *ontology.Ontology, seeds []ontology.ConceptID, radius, maxPerSeed int) []Expansion {
+	var out []Expansion
+	for _, seed := range seeds {
+		type state struct {
+			n    ontology.ConceptID
+			down bool
+		}
+		dist := map[state]int{{seed, false}: 0}
+		bestDist := map[ontology.ConceptID]int{seed: 0}
+		frontier := []state{{seed, false}}
+		for d := 1; d <= radius && len(frontier) > 0; d++ {
+			var next []state
+			for _, s := range frontier {
+				expandTo := func(ns state) {
+					if _, ok := dist[ns]; ok {
+						return
+					}
+					dist[ns] = d
+					if cur, ok := bestDist[ns.n]; !ok || d < cur {
+						bestDist[ns.n] = d
+					}
+					next = append(next, ns)
+				}
+				if !s.down {
+					for _, p := range o.Parents(s.n) {
+						expandTo(state{p, false})
+					}
+				}
+				for _, c := range o.Children(s.n) {
+					expandTo(state{c, true})
+				}
+			}
+			frontier = next
+		}
+		var local []Expansion
+		for c, d := range bestDist {
+			if c == seed {
+				continue
+			}
+			local = append(local, Expansion{Concept: c, Source: seed, Distance: d, Weight: 1 / float64(1+d)})
+		}
+		sort.Slice(local, func(i, j int) bool {
+			if local[i].Distance != local[j].Distance {
+				return local[i].Distance < local[j].Distance
+			}
+			return local[i].Concept < local[j].Concept
+		})
+		if maxPerSeed > 0 && len(local) > maxPerSeed {
+			local = local[:maxPerSeed]
+		}
+		out = append(out, local...)
+	}
+	return out
+}
+
+// Result is one merged-ranking entry.
+type Result struct {
+	Doc   corpus.DocID
+	Score float64 // normalized merged distance; lower is better
+}
+
+// ErrNoQueries is returned when MergedRDS receives no usable query.
+var ErrNoQueries = errors.New("expand: no non-empty queries")
+
+// MergedRDS ranks all documents of the collection against several queries
+// simultaneously: score(d) = Σ_i Ddq(d, q_i) / |q_i| (footnote 3). All
+// per-query distances for one document come from a single D-Radix built
+// over the union of the query concepts, so the cost per document matches a
+// single DRC run over the combined query.
+func MergedRDS(o *ontology.Ontology, fwd index.Forward, numDocs int, queries [][]ontology.ConceptID, k int) ([]Result, error) {
+	var union []ontology.ConceptID
+	seen := map[ontology.ConceptID]struct{}{}
+	var live [][]ontology.ConceptID
+	for _, q := range queries {
+		if len(q) == 0 {
+			continue
+		}
+		live = append(live, q)
+		for _, c := range q {
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				union = append(union, c)
+			}
+		}
+	}
+	if len(live) == 0 {
+		return nil, ErrNoQueries
+	}
+	if k <= 0 {
+		k = 10
+	}
+	prep := drc.Prepare(o, union, 0)
+
+	type scored struct {
+		doc   corpus.DocID
+		score float64
+	}
+	var best []scored
+	insert := func(s scored) {
+		pos := sort.Search(len(best), func(i int) bool {
+			if best[i].score != s.score {
+				return best[i].score > s.score
+			}
+			return best[i].doc > s.doc
+		})
+		best = append(best, scored{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = s
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+
+	for d := corpus.DocID(0); int(d) < numDocs; d++ {
+		concepts, err := fwd.Concepts(d)
+		if err != nil {
+			return nil, err
+		}
+		if len(concepts) == 0 {
+			continue
+		}
+		dr, err := prep.Build(concepts)
+		if err != nil {
+			return nil, err
+		}
+		total := 0.0
+		for _, q := range live {
+			total += dr.DocQueryDistance(q) / float64(len(q))
+		}
+		insert(scored{doc: d, score: total})
+	}
+	out := make([]Result, len(best))
+	for i, s := range best {
+		out[i] = Result{Doc: s.doc, Score: s.score}
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package expand
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+)
+
+func TestExpandPaperFig(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	// Radius 1 from F: parent D, children J and H (exactly F's neighbors in
+	// the paper's Example 4).
+	exps := Expand(pf.O, pf.Concepts("F"), 1, 0)
+	got := map[ontology.ConceptID]int{}
+	for _, e := range exps {
+		got[e.Concept] = e.Distance
+		if e.Source != pf.Concept("F") {
+			t.Errorf("source = %v", e.Source)
+		}
+		if math.Abs(e.Weight-1.0/float64(1+e.Distance)) > 1e-12 {
+			t.Errorf("weight = %v for distance %d", e.Weight, e.Distance)
+		}
+	}
+	for _, letter := range []string{"D", "J", "H"} {
+		if got[pf.Concept(letter)] != 1 {
+			t.Errorf("missing neighbor %s: %v", letter, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("radius-1 expansion of F = %v, want exactly D,J,H", got)
+	}
+}
+
+func TestExpandRespectsValidPaths(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	// From I at radius 2 we may reach J (up to G, down to J) but NOT K at
+	// distance 2 via I->G->J->K (that is 3); and G's parent E at 2.
+	exps := Expand(pf.O, pf.Concepts("I"), 2, 0)
+	got := map[ontology.ConceptID]int{}
+	for _, e := range exps {
+		got[e.Concept] = e.Distance
+	}
+	for letter, want := range map[string]int{"G": 1, "M": 1, "N": 1, "E": 2, "J": 2} {
+		if got[pf.Concept(letter)] != want {
+			t.Errorf("expansion distance of %s = %d, want %d", letter, got[pf.Concept(letter)], want)
+		}
+	}
+	// Distances must equal the library's valid-path distance.
+	for c, d := range got {
+		if want := distance.ConceptDistance(pf.O, pf.Concept("I"), c); want != d {
+			t.Errorf("expansion distance of %s = %d, true distance %d", pf.O.Name(c), d, want)
+		}
+	}
+}
+
+func TestExpandMaxPerSeedNearestFirst(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	exps := Expand(pf.O, pf.Concepts("F"), 3, 3)
+	if len(exps) != 3 {
+		t.Fatalf("got %d expansions, want 3", len(exps))
+	}
+	for _, e := range exps {
+		if e.Distance != 1 {
+			t.Errorf("capped expansion kept non-nearest concept %s at %d", pf.O.Name(e.Concept), e.Distance)
+		}
+	}
+}
+
+func TestMergedRDSMatchesBruteForce(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	coll := corpus.New()
+	coll.Add("d0", 0, pf.Concepts("F", "R"))
+	coll.Add("d1", 0, pf.Concepts("I", "T"))
+	coll.Add("d2", 0, pf.Concepts("G", "J"))
+	coll.Add("d3", 0, pf.Concepts("C"))
+	coll.Add("d4", 0, nil)
+	fwd := index.BuildMemForward(coll)
+
+	queries := [][]ontology.ConceptID{
+		pf.Concepts("F", "I"),
+		pf.Concepts("U"),
+		nil, // ignored
+	}
+	got, err := MergedRDS(pf.O, fwd, coll.NumDocs(), queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force with BL and footnote-3 normalization.
+	bl := distance.NewBL(pf.O, 0)
+	type row struct {
+		doc   corpus.DocID
+		score float64
+	}
+	var want []row
+	for _, d := range coll.Docs() {
+		if len(d.Concepts) == 0 {
+			continue
+		}
+		s := bl.DocQuery(d.Concepts, queries[0])/2 + bl.DocQuery(d.Concepts, queries[1])/1
+		want = append(want, row{d.ID, s})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].score != want[j].score {
+			return want[i].score < want[j].score
+		}
+		return want[i].doc < want[j].doc
+	})
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := range got {
+		if got[i].Doc != want[i].doc || math.Abs(got[i].Score-want[i].score) > 1e-9 {
+			t.Fatalf("rank %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergedRDSNoQueries(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	coll := corpus.New()
+	coll.Add("d0", 0, pf.Concepts("F"))
+	fwd := index.BuildMemForward(coll)
+	if _, err := MergedRDS(pf.O, fwd, 1, [][]ontology.ConceptID{nil, {}}, 3); err == nil {
+		t.Error("empty query set accepted")
+	}
+}
+
+// TestExpansionImprovesRecallScenario shows the intended use: a user query
+// for one concept is expanded with its neighbors, and a document containing
+// only a sibling concept rises in the merged ranking.
+func TestExpansionImprovesRecallScenario(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	coll := corpus.New()
+	coll.Add("exact", 0, pf.Concepts("U"))
+	coll.Add("sibling", 0, pf.Concepts("R"))
+	coll.Add("far", 0, pf.Concepts("M"))
+	fwd := index.BuildMemForward(coll)
+
+	seed := pf.Concepts("U")
+	exps := Expand(pf.O, seed, 1, 0)
+	queries := [][]ontology.ConceptID{seed}
+	for _, e := range exps {
+		queries = append(queries, []ontology.ConceptID{e.Concept})
+	}
+	got, err := MergedRDS(pf.O, fwd, coll.NumDocs(), queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Doc != 0 || got[1].Doc != 1 {
+		t.Fatalf("expected exact then sibling, got %+v", got)
+	}
+	if got[2].Doc != 2 {
+		t.Fatalf("far document should rank last: %+v", got)
+	}
+}

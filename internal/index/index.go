@@ -1,0 +1,205 @@
+// Package index provides the access structures kNDS assumes (Section 5.3 of
+// Arvanitis et al., EDBT 2014): an inverted index mapping concepts to the
+// documents containing them, and a forward index mapping documents to their
+// concept sets. Both exist as in-memory implementations here and as
+// disk-backed implementations in package store (the paper kept them in
+// MySQL and reported I/O time separately).
+//
+// The package also implements the concept filters of Section 6.1: a depth
+// threshold excluding overly generic concepts (default 4) and a collection
+// frequency threshold excluding overly common ones (default mu + sigma).
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+)
+
+// Inverted maps a concept to the documents that contain it.
+type Inverted interface {
+	// Postings returns the IDs of all documents containing c, in ascending
+	// order. The result must be treated as read-only.
+	Postings(c ontology.ConceptID) ([]corpus.DocID, error)
+	// DocFreq returns the number of documents containing c.
+	DocFreq(c ontology.ConceptID) (int, error)
+}
+
+// Forward maps a document to its concept set.
+type Forward interface {
+	// Concepts returns the sorted concept set of doc d. Read-only.
+	Concepts(d corpus.DocID) ([]ontology.ConceptID, error)
+	// NumConcepts returns |d|, the size of d's concept set.
+	NumConcepts(d corpus.DocID) (int, error)
+}
+
+// MemInverted is the in-memory Inverted implementation.
+type MemInverted struct {
+	postings map[ontology.ConceptID][]corpus.DocID
+}
+
+// BuildMemInverted indexes a collection.
+func BuildMemInverted(c *corpus.Collection) *MemInverted {
+	m := &MemInverted{postings: make(map[ontology.ConceptID][]corpus.DocID)}
+	for _, d := range c.Docs() {
+		for _, cc := range d.Concepts {
+			m.postings[cc] = append(m.postings[cc], d.ID)
+		}
+	}
+	return m
+}
+
+// Postings implements Inverted.
+func (m *MemInverted) Postings(c ontology.ConceptID) ([]corpus.DocID, error) {
+	return m.postings[c], nil
+}
+
+// DocFreq implements Inverted.
+func (m *MemInverted) DocFreq(c ontology.ConceptID) (int, error) {
+	return len(m.postings[c]), nil
+}
+
+// NumConceptsIndexed returns the number of distinct concepts with nonempty
+// postings.
+func (m *MemInverted) NumConceptsIndexed() int { return len(m.postings) }
+
+// Entries iterates the postings map in ascending concept order, calling fn
+// for each (concept, postings) pair. Used by the disk store writer.
+func (m *MemInverted) Entries(fn func(c ontology.ConceptID, docs []corpus.DocID) error) error {
+	keys := make([]ontology.ConceptID, 0, len(m.postings))
+	for c := range m.postings {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, c := range keys {
+		if err := fn(c, m.postings[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemForward is the in-memory Forward implementation; it simply views the
+// collection.
+type MemForward struct {
+	c *corpus.Collection
+}
+
+// BuildMemForward wraps a collection as a Forward index.
+func BuildMemForward(c *corpus.Collection) *MemForward { return &MemForward{c: c} }
+
+// Concepts implements Forward.
+func (m *MemForward) Concepts(d corpus.DocID) ([]ontology.ConceptID, error) {
+	if int(d) >= m.c.NumDocs() {
+		return nil, fmt.Errorf("index: document %d out of range", d)
+	}
+	return m.c.Doc(d).Concepts, nil
+}
+
+// NumConcepts implements Forward.
+func (m *MemForward) NumConcepts(d corpus.DocID) (int, error) {
+	if int(d) >= m.c.NumDocs() {
+		return 0, fmt.Errorf("index: document %d out of range", d)
+	}
+	return len(m.c.Doc(d).Concepts), nil
+}
+
+// FilterConfig selects the Section 6.1 concept filters. The zero value
+// disables both.
+type FilterConfig struct {
+	// MinDepth excludes concepts whose ontology depth is below the
+	// threshold (the paper's default is 4, retaining over 99% of concepts).
+	MinDepth int
+	// CFThreshold excludes concepts contained in more than this many
+	// documents. <= 0 disables. Use MuSigmaCF for the paper's mu+sigma
+	// default (retaining about 92% of concepts).
+	CFThreshold float64
+}
+
+// MuSigmaCF computes the paper's default collection-frequency threshold,
+// mu + sigma, over the concept frequencies of the collection.
+func MuSigmaCF(c *corpus.Collection) float64 {
+	cf := c.ConceptFrequencies()
+	if len(cf) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range cf {
+		sum += float64(f)
+	}
+	mu := sum / float64(len(cf))
+	var varSum float64
+	for _, f := range cf {
+		d := float64(f) - mu
+		varSum += d * d
+	}
+	sigma := math.Sqrt(varSum / float64(len(cf)))
+	return mu + sigma
+}
+
+// FilterStats reports what a filter pass removed.
+type FilterStats struct {
+	ConceptsBefore  int
+	ConceptsKept    int
+	RemovedByDepth  int
+	RemovedByCF     int
+	EmptiedDocs     int
+	CFThresholdUsed float64
+}
+
+// ApplyFilter returns a new collection whose documents contain only
+// concepts passing the configured thresholds, plus statistics about the
+// removals. Documents whose concept sets become empty are kept (with empty
+// sets) so document IDs remain aligned with the original collection.
+func ApplyFilter(c *corpus.Collection, o *ontology.Ontology, cfg FilterConfig) (*corpus.Collection, FilterStats) {
+	cf := c.ConceptFrequencies()
+	stats := FilterStats{ConceptsBefore: len(cf), CFThresholdUsed: cfg.CFThreshold}
+	removed := make(map[ontology.ConceptID]bool)
+	for cc, f := range cf {
+		if cfg.MinDepth > 0 && o.Depth(cc) < cfg.MinDepth {
+			removed[cc] = true
+			stats.RemovedByDepth++
+			continue
+		}
+		if cfg.CFThreshold > 0 && float64(f) > cfg.CFThreshold {
+			removed[cc] = true
+			stats.RemovedByCF++
+		}
+	}
+	stats.ConceptsKept = stats.ConceptsBefore - len(removed)
+	out := corpus.New()
+	for _, d := range c.Docs() {
+		kept := make([]ontology.ConceptID, 0, len(d.Concepts))
+		for _, cc := range d.Concepts {
+			if !removed[cc] {
+				kept = append(kept, cc)
+			}
+		}
+		if len(kept) == 0 && len(d.Concepts) > 0 {
+			stats.EmptiedDocs++
+		}
+		out.Add(d.Name, d.TokenCount, kept)
+	}
+	return out, stats
+}
+
+// EligibleConcepts lists the concepts of a collection that pass the filters
+// and therefore may appear in generated query workloads.
+func EligibleConcepts(c *corpus.Collection, o *ontology.Ontology, cfg FilterConfig) []ontology.ConceptID {
+	cf := c.ConceptFrequencies()
+	out := make([]ontology.ConceptID, 0, len(cf))
+	for cc, f := range cf {
+		if cfg.MinDepth > 0 && o.Depth(cc) < cfg.MinDepth {
+			continue
+		}
+		if cfg.CFThreshold > 0 && float64(f) > cfg.CFThreshold {
+			continue
+		}
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

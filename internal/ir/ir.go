@@ -1,0 +1,186 @@
+// Package ir implements classical text retrieval — an inverted term index
+// with BM25 ranking — and its combination with concept-based semantic
+// ranking. This is the first item of the paper's future work (Section 7:
+// "we plan to combine our methods with IR ranking") and the hedge of its
+// introduction ("considering the free text that is not associated with
+// concepts has the potential to further improve the retrieval quality").
+//
+// The hybrid ranker normalizes both signals per query — BM25 scores to
+// [0,1] by the query's maximum, semantic distances to [0,1] similarities
+// by the query's worst distance — and blends them with a tunable alpha:
+//
+//	score(d) = alpha * semantic(d) + (1-alpha) * bm25(d)
+//
+// alpha = 1 is pure concept ranking (this library's core), alpha = 0 pure
+// BM25.
+package ir
+
+import (
+	"math"
+	"sort"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/nlp"
+)
+
+// BM25 parameters; the ubiquitous defaults.
+const (
+	defaultK1 = 1.2
+	defaultB  = 0.75
+)
+
+// Index is a BM25-ready text index over a document set. Build once, query
+// concurrently.
+type Index struct {
+	k1, b    float64
+	docLen   []int
+	avgLen   float64
+	postings map[string][]posting
+	numDocs  int
+}
+
+type posting struct {
+	doc corpus.DocID
+	tf  int32
+}
+
+// BuildIndex tokenizes and indexes the given document texts; the slice
+// index is the DocID.
+func BuildIndex(texts []string) *Index {
+	ix := &Index{
+		k1:       defaultK1,
+		b:        defaultB,
+		postings: make(map[string][]posting),
+		docLen:   make([]int, len(texts)),
+		numDocs:  len(texts),
+	}
+	totalLen := 0
+	for d, text := range texts {
+		counts := map[string]int32{}
+		n := 0
+		for _, tok := range nlp.Tokenize(text) {
+			if tok.Text == "." {
+				continue
+			}
+			counts[tok.Text]++
+			n++
+		}
+		ix.docLen[d] = n
+		totalLen += n
+		for term, tf := range counts {
+			ix.postings[term] = append(ix.postings[term], posting{doc: corpus.DocID(d), tf: tf})
+		}
+	}
+	if len(texts) > 0 {
+		ix.avgLen = float64(totalLen) / float64(len(texts))
+	}
+	return ix
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.postings) }
+
+// idf is the BM25+ style idf, floored at 0 to keep scores monotone.
+func (ix *Index) idf(term string) float64 {
+	df := len(ix.postings[term])
+	if df == 0 {
+		return 0
+	}
+	v := math.Log((float64(ix.numDocs)-float64(df)+0.5)/(float64(df)+0.5) + 1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Scores computes BM25 scores for every document matching at least one
+// query term. The query is tokenized with the same pipeline as the
+// documents.
+func (ix *Index) Scores(query string) map[corpus.DocID]float64 {
+	out := make(map[corpus.DocID]float64)
+	seen := map[string]bool{}
+	for _, tok := range nlp.Tokenize(query) {
+		term := tok.Text
+		if term == "." || seen[term] {
+			continue
+		}
+		seen[term] = true
+		idf := ix.idf(term)
+		if idf == 0 {
+			continue
+		}
+		for _, p := range ix.postings[term] {
+			tf := float64(p.tf)
+			norm := ix.k1 * (1 - ix.b + ix.b*float64(ix.docLen[p.doc])/ix.avgLen)
+			out[p.doc] += idf * tf * (ix.k1 + 1) / (tf + norm)
+		}
+	}
+	return out
+}
+
+// Result is one hybrid-ranked document (higher Score = better).
+type Result struct {
+	Doc      corpus.DocID
+	Score    float64
+	BM25     float64
+	Semantic float64 // normalized semantic similarity in [0,1]
+}
+
+// Hybrid blends normalized semantic distances with BM25 scores.
+// semanticDist maps document to its concept-based distance (lower =
+// better), e.g. the Ddq values of an RDS full scan; alpha in [0,1] weighs
+// the semantic side. Documents appearing in neither signal are omitted.
+func Hybrid(semanticDist map[corpus.DocID]float64, bm25 map[corpus.DocID]float64, alpha float64, k int) []Result {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	// Normalizers.
+	maxBM := 0.0
+	for _, s := range bm25 {
+		if s > maxBM {
+			maxBM = s
+		}
+	}
+	maxDist := 0.0
+	for _, d := range semanticDist {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	docs := map[corpus.DocID]bool{}
+	for d := range semanticDist {
+		docs[d] = true
+	}
+	for d := range bm25 {
+		docs[d] = true
+	}
+	out := make([]Result, 0, len(docs))
+	for d := range docs {
+		r := Result{Doc: d}
+		if maxBM > 0 {
+			r.BM25 = bm25[d] / maxBM
+		}
+		if dist, ok := semanticDist[d]; ok {
+			if maxDist > 0 {
+				r.Semantic = 1 - dist/maxDist
+			} else {
+				r.Semantic = 1
+			}
+		}
+		r.Score = alpha*r.Semantic + (1-alpha)*r.BM25
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

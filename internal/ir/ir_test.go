@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"math"
+	"testing"
+
+	"conceptrank/internal/corpus"
+)
+
+func TestBM25Basics(t *testing.T) {
+	ix := BuildIndex([]string{
+		"aortic valve stenosis with severe regurgitation",     // 0
+		"valve replacement surgery scheduled",                 // 1
+		"patient doing well, no complaints at all today",      // 2
+		"aortic aneurysm repair; aortic graft placed; aortic", // 3
+	})
+	if ix.NumTerms() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	scores := ix.Scores("aortic valve")
+	if len(scores) != 3 {
+		t.Fatalf("matched docs = %v, want 3 (docs 0,1,3)", scores)
+	}
+	// Doc 0 matches both terms; it must beat docs matching one.
+	if scores[0] <= scores[1] || scores[0] <= scores[3] {
+		t.Errorf("doc 0 should win: %v", scores)
+	}
+	if _, ok := scores[2]; ok {
+		t.Error("doc 2 matches nothing and must be absent")
+	}
+	// Unknown terms score nothing and don't panic.
+	if s := ix.Scores("xylophone"); len(s) != 0 {
+		t.Errorf("unknown term scored: %v", s)
+	}
+}
+
+func TestBM25TermFrequencySaturation(t *testing.T) {
+	ix := BuildIndex([]string{
+		"cardio cardio cardio cardio cardio cardio cardio filler filler",
+		"cardio filler filler filler filler filler filler filler filler",
+		"filler filler filler filler filler filler filler filler filler",
+	})
+	s := ix.Scores("cardio")
+	if s[0] <= s[1] {
+		t.Errorf("higher tf must score higher: %v", s)
+	}
+	// Saturation: 7x the tf must not give 7x the score.
+	if s[0] >= 4*s[1] {
+		t.Errorf("BM25 saturation violated: %v", s)
+	}
+}
+
+func TestHybridBlending(t *testing.T) {
+	sem := map[corpus.DocID]float64{0: 0, 1: 5, 2: 10} // doc 0 best semantically
+	bm := map[corpus.DocID]float64{0: 1, 1: 8, 2: 2}   // doc 1 best textually
+
+	pureSem := Hybrid(sem, bm, 1, 0)
+	if pureSem[0].Doc != 0 {
+		t.Fatalf("alpha=1 should rank by semantics: %+v", pureSem)
+	}
+	pureBM := Hybrid(sem, bm, 0, 0)
+	if pureBM[0].Doc != 1 {
+		t.Fatalf("alpha=0 should rank by BM25: %+v", pureBM)
+	}
+	mixed := Hybrid(sem, bm, 0.5, 2)
+	if len(mixed) != 2 {
+		t.Fatalf("k truncation failed: %+v", mixed)
+	}
+	for _, r := range mixed {
+		if r.Score < 0 || r.Score > 1+1e-12 || r.Semantic < 0 || r.Semantic > 1 || r.BM25 < 0 || r.BM25 > 1 {
+			t.Fatalf("normalization out of range: %+v", r)
+		}
+	}
+	// Monotone in alpha for a semantically perfect doc: its score cannot
+	// decrease as alpha grows.
+	prev := -1.0
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		res := Hybrid(sem, bm, alpha, 0)
+		for _, r := range res {
+			if r.Doc == 0 {
+				if r.Score < prev-1e-12 {
+					t.Fatalf("doc 0 score decreased with alpha: %v -> %v", prev, r.Score)
+				}
+				prev = r.Score
+			}
+		}
+	}
+}
+
+func TestHybridDocUnion(t *testing.T) {
+	sem := map[corpus.DocID]float64{0: 1}
+	bm := map[corpus.DocID]float64{1: 3}
+	res := Hybrid(sem, bm, 0.5, 0)
+	if len(res) != 2 {
+		t.Fatalf("union of signals: %+v", res)
+	}
+}
+
+func TestHybridDeterministicTies(t *testing.T) {
+	sem := map[corpus.DocID]float64{3: 1, 1: 1, 2: 1}
+	res := Hybrid(sem, nil, 1, 0)
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Score == res[i].Score && res[i-1].Doc > res[i].Doc {
+			t.Fatalf("tie order not deterministic: %+v", res)
+		}
+	}
+	if math.Abs(res[0].Score-res[2].Score) > 1e-12 {
+		t.Fatalf("equal distances should tie: %+v", res)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := BuildIndex(nil)
+	if s := ix.Scores("anything"); len(s) != 0 {
+		t.Fatalf("empty index scored: %v", s)
+	}
+}

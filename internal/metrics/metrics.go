@@ -1,0 +1,191 @@
+// Package metrics implements the alternative concept-similarity measures
+// surveyed in Section 2 of Arvanitis et al. (EDBT 2014) and named as
+// future work in Section 7 ("explore other semantic distances"):
+//
+//   - structure-based: Rada shortest valid path (the measure the paper
+//     adopts), Leacock-Chodorow, Wu-Palmer;
+//   - information-content based: Resnik, Lin, and Jiang-Conrath, with
+//     corpus-derived information content (the probability of a concept is
+//     the relative frequency of the concept or any of its descendants).
+//
+// The document-level aggregation used with these measures in the
+// biomedical literature (best-match average, Pesquita et al.) is provided
+// as well. kNDS's bounds are specific to the additive shortest-path
+// distance, so these measures pair with the full-scan ranking path; they
+// exist to make the library a complete playground for the paper's
+// follow-on questions.
+package metrics
+
+import (
+	"math"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/ontology"
+)
+
+// LCS returns the Least Common Subsumer of a and b: the common ancestor of
+// maximum depth (ties broken toward the smaller concept ID for
+// determinism). ok is false only if the concepts share no ancestor, which
+// cannot happen in a single-rooted ontology.
+func LCS(o *ontology.Ontology, a, b ontology.ConceptID) (ontology.ConceptID, bool) {
+	ma := distance.ComputeUpMap(o, a)
+	mb := distance.ComputeUpMap(o, b)
+	if len(mb) < len(ma) {
+		ma, mb = mb, ma
+	}
+	best := ontology.Invalid
+	bestDepth := -1
+	for anc := range ma {
+		if _, ok := mb[anc]; !ok {
+			continue
+		}
+		d := o.Depth(anc)
+		if d > bestDepth || (d == bestDepth && anc < best) {
+			best, bestDepth = anc, d
+		}
+	}
+	return best, best != ontology.Invalid
+}
+
+// PathLength is the Rada et al. shortest valid path distance — the measure
+// the paper adopts (re-exported here so the metric set is complete).
+func PathLength(o *ontology.Ontology, a, b ontology.ConceptID) int {
+	return distance.ConceptDistance(o, a, b)
+}
+
+// LeacockChodorow returns the LCH similarity
+// -log((path+1) / (2 * maxDepth + 2)), monotone decreasing in path length.
+// The +1 terms use node counts rather than edge counts, the convention
+// that keeps the value finite for identical concepts.
+func LeacockChodorow(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
+	path := float64(PathLength(o, a, b))
+	maxDepth := float64(o.MaxDepth())
+	return -math.Log((path + 1) / (2*maxDepth + 2))
+}
+
+// WuPalmer returns the Wu-Palmer similarity
+// 2*depth(LCS) / (depth(a) + depth(b)) with node-count depths (root = 1),
+// in (0, 1], equal to 1 iff a == b == their LCS.
+func WuPalmer(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
+	lcs, ok := LCS(o, a, b)
+	if !ok {
+		return 0
+	}
+	da := float64(o.Depth(a) + 1)
+	db := float64(o.Depth(b) + 1)
+	dl := float64(o.Depth(lcs) + 1)
+	return 2 * dl / (da + db)
+}
+
+// ICTable holds corpus-derived information content per concept:
+// IC(c) = -ln p(c), where p(c) is the (Laplace-smoothed) probability that
+// an occurrence in the corpus is c or one of c's descendants. The root's
+// IC is therefore 0 (up to smoothing) and IC grows toward the leaves.
+type ICTable struct {
+	ic []float64
+}
+
+// ComputeIC derives an ICTable from the concept occurrences of a
+// collection. Descendant aggregation is exact in DAGs: each occurring
+// concept adds its frequency to every distinct ancestor once (not once per
+// path).
+func ComputeIC(o *ontology.Ontology, coll *corpus.Collection) *ICTable {
+	n := o.NumConcepts()
+	counts := make([]float64, n)
+	total := 0.0
+	for cc, f := range coll.ConceptFrequencies() {
+		total += float64(f)
+		// Add f to cc and every ancestor, each exactly once.
+		seen := map[ontology.ConceptID]struct{}{cc: {}}
+		stack := []ontology.ConceptID{cc}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			counts[cur] += float64(f)
+			for _, p := range o.Parents(cur) {
+				if _, ok := seen[p]; !ok {
+					seen[p] = struct{}{}
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	// Laplace smoothing: every concept gets +1 so unseen concepts have
+	// finite, maximal IC instead of infinity.
+	t := &ICTable{ic: make([]float64, n)}
+	denom := total + float64(n)
+	for c := 0; c < n; c++ {
+		t.ic[c] = -math.Log((counts[c] + 1) / denom)
+	}
+	return t
+}
+
+// IC returns the information content of c.
+func (t *ICTable) IC(c ontology.ConceptID) float64 { return t.ic[c] }
+
+// mostInformativeSubsumer returns the maximum IC over the common ancestors
+// of a and b (Resnik's quantity). For multiply-inherited DAG concepts this
+// can differ from IC(LCS): the deepest common ancestor is not necessarily
+// the most informative one.
+func (t *ICTable) mostInformativeSubsumer(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
+	ma := distance.ComputeUpMap(o, a)
+	mb := distance.ComputeUpMap(o, b)
+	if len(mb) < len(ma) {
+		ma, mb = mb, ma
+	}
+	best := 0.0
+	for anc := range ma {
+		if _, ok := mb[anc]; ok && t.ic[anc] > best {
+			best = t.ic[anc]
+		}
+	}
+	return best
+}
+
+// Resnik returns the Resnik similarity: the information content of the
+// most informative common subsumer.
+func (t *ICTable) Resnik(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
+	return t.mostInformativeSubsumer(o, a, b)
+}
+
+// Lin returns the Lin similarity 2*IC(mis) / (IC(a)+IC(b)), in [0, 1].
+func (t *ICTable) Lin(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
+	den := t.ic[a] + t.ic[b]
+	if den == 0 {
+		return 1 // both concepts carry no information; identical for Lin
+	}
+	return 2 * t.mostInformativeSubsumer(o, a, b) / den
+}
+
+// JiangConrath returns the Jiang-Conrath distance
+// IC(a) + IC(b) - 2*IC(mis); 0 means maximally similar.
+func (t *ICTable) JiangConrath(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
+	return t.ic[a] + t.ic[b] - 2*t.mostInformativeSubsumer(o, a, b)
+}
+
+// Similarity is any concept-concept similarity (higher = more similar).
+type Similarity func(a, b ontology.ConceptID) float64
+
+// BestMatchAverage aggregates a concept similarity to document level
+// (Pesquita et al.): the mean, over both directions, of each concept's
+// best match in the other document. Empty documents yield 0.
+func BestMatchAverage(d1, d2 []ontology.ConceptID, sim Similarity) float64 {
+	if len(d1) == 0 || len(d2) == 0 {
+		return 0
+	}
+	dir := func(from, to []ontology.ConceptID) float64 {
+		total := 0.0
+		for _, a := range from {
+			best := math.Inf(-1)
+			for _, b := range to {
+				if s := sim(a, b); s > best {
+					best = s
+				}
+			}
+			total += best
+		}
+		return total / float64(len(from))
+	}
+	return (dir(d1, d2) + dir(d2, d1)) / 2
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+)
+
+func TestLCSPaperFig(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	cases := []struct {
+		a, b, want string
+	}{
+		{"I", "R", "G"}, // paper Example: I to R via G (valid path)
+		{"G", "F", "A"},
+		// R,V: both J (depth 3 via F) and G (depth 3) are deepest common
+		// ancestors — a genuine DAG tie; the smaller ID (G) wins.
+		{"R", "V", "G"},
+		{"U", "R", "R"}, // ancestor relationship: LCS is the ancestor
+		{"T", "L", "H"},
+		{"K", "K", "K"},
+	}
+	for _, c := range cases {
+		got, ok := LCS(pf.O, pf.Concept(c.a), pf.Concept(c.b))
+		if !ok || got != pf.Concept(c.want) {
+			t.Errorf("LCS(%s,%s) = %v, want %s", c.a, c.b, pf.O.Name(got), c.want)
+		}
+	}
+}
+
+func TestWuPalmer(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	o := pf.O
+	// Identity: 1.
+	if got := WuPalmer(o, pf.Concept("R"), pf.Concept("R")); got != 1 {
+		t.Errorf("WuPalmer(R,R) = %v", got)
+	}
+	// Hand value: LCS(T,L)=H depth 3; T depth 6, L depth 4 (node counts
+	// 4, 7, 5): 2*4/(7+5) = 2/3.
+	if got := WuPalmer(o, pf.Concept("T"), pf.Concept("L")); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("WuPalmer(T,L) = %v, want 2/3", got)
+	}
+	// Siblings under the root are maximally distant among same-depth pairs.
+	far := WuPalmer(o, pf.Concept("M"), pf.Concept("T"))
+	near := WuPalmer(o, pf.Concept("U"), pf.Concept("V"))
+	if far >= near {
+		t.Errorf("WuPalmer ordering broken: far=%v near=%v", far, near)
+	}
+}
+
+func TestLeacockChodorow(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	o := pf.O
+	same := LeacockChodorow(o, pf.Concept("R"), pf.Concept("R"))
+	close1 := LeacockChodorow(o, pf.Concept("U"), pf.Concept("R"))
+	far := LeacockChodorow(o, pf.Concept("G"), pf.Concept("F"))
+	if !(same > close1 && close1 > far) {
+		t.Errorf("LCH ordering broken: %v %v %v", same, close1, far)
+	}
+	if math.IsInf(same, 0) || math.IsNaN(same) {
+		t.Errorf("LCH(R,R) = %v", same)
+	}
+}
+
+func testCollection(pf *ontology.PaperFig) *corpus.Collection {
+	c := corpus.New()
+	// R and U are common; V is rare; T appears once.
+	c.Add("d0", 0, pf.Concepts("R", "U"))
+	c.Add("d1", 0, pf.Concepts("R", "U"))
+	c.Add("d2", 0, pf.Concepts("R"))
+	c.Add("d3", 0, pf.Concepts("V", "T"))
+	return c
+}
+
+func TestICMonotoneUpward(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	ic := ComputeIC(pf.O, testCollection(pf))
+	// IC must not decrease from ancestor to descendant (ancestors subsume
+	// descendants' occurrences).
+	for c := 0; c < pf.O.NumConcepts(); c++ {
+		id := ontology.ConceptID(c)
+		for _, ch := range pf.O.Children(id) {
+			if ic.IC(id) > ic.IC(ch)+1e-12 {
+				t.Fatalf("IC(%s)=%v > IC(child %s)=%v", pf.O.Name(id), ic.IC(id), pf.O.Name(ch), ic.IC(ch))
+			}
+		}
+	}
+	// The root subsumes everything: minimal IC.
+	for c := 1; c < pf.O.NumConcepts(); c++ {
+		if ic.IC(pf.O.Root()) > ic.IC(ontology.ConceptID(c))+1e-12 {
+			t.Fatalf("root IC not minimal vs %s", pf.O.Name(ontology.ConceptID(c)))
+		}
+	}
+	// Frequent R has lower IC than rare T.
+	if ic.IC(pf.Concept("R")) >= ic.IC(pf.Concept("T")) {
+		t.Errorf("IC(R)=%v should be < IC(T)=%v", ic.IC(pf.Concept("R")), ic.IC(pf.Concept("T")))
+	}
+}
+
+func TestICDAGNoDoubleCount(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	// R has two Dewey paths (through G and through F); its single
+	// occurrence must count once at the shared ancestor A, i.e. A's count
+	// equals the total corpus occurrences exactly.
+	c := corpus.New()
+	c.Add("d0", 0, pf.Concepts("R"))
+	ic := ComputeIC(pf.O, c)
+	// With 1 occurrence and n concepts: p(A) = (1+1)/(1+n). If R were
+	// counted once per path, p(A) would exceed that.
+	n := float64(pf.O.NumConcepts())
+	want := -math.Log(2 / (1 + n))
+	if math.Abs(ic.IC(pf.O.Root())-want) > 1e-12 {
+		t.Errorf("root IC = %v, want %v (double counting across DAG paths?)", ic.IC(pf.O.Root()), want)
+	}
+}
+
+func TestResnikLinJiang(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	ic := ComputeIC(pf.O, testCollection(pf))
+	o := pf.O
+	u, r, v, tt := pf.Concept("U"), pf.Concept("R"), pf.Concept("V"), pf.Concept("T")
+
+	// Resnik(U,R) = IC(R) since R subsumes U and is the most informative.
+	if got := ic.Resnik(o, u, r); math.Abs(got-ic.IC(r)) > 1e-12 {
+		t.Errorf("Resnik(U,R) = %v, want IC(R) = %v", got, ic.IC(r))
+	}
+	// Lin identity: Lin(x,x) = 1 when IC > 0.
+	if got := ic.Lin(o, v, v); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Lin(V,V) = %v", got)
+	}
+	// Jiang-Conrath identity: 0 distance to self.
+	if got := ic.JiangConrath(o, tt, tt); math.Abs(got) > 1e-12 {
+		t.Errorf("JC(T,T) = %v", got)
+	}
+	// Related concepts (U,R share subsumer R) are more Lin-similar than
+	// unrelated ones (U, T share only shallow ancestors).
+	if ic.Lin(o, u, r) <= ic.Lin(o, u, tt) {
+		t.Errorf("Lin ordering broken: Lin(U,R)=%v Lin(U,T)=%v", ic.Lin(o, u, r), ic.Lin(o, u, tt))
+	}
+}
+
+func TestSymmetryProperties(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	ic := ComputeIC(pf.O, testCollection(pf))
+	r := rand.New(rand.NewSource(5))
+	n := pf.O.NumConcepts()
+	for i := 0; i < 200; i++ {
+		a := ontology.ConceptID(r.Intn(n))
+		b := ontology.ConceptID(r.Intn(n))
+		if got, want := WuPalmer(pf.O, a, b), WuPalmer(pf.O, b, a); got != want {
+			t.Fatalf("WuPalmer asymmetric at (%d,%d)", a, b)
+		}
+		if got, want := ic.Lin(pf.O, a, b), ic.Lin(pf.O, b, a); got != want {
+			t.Fatalf("Lin asymmetric at (%d,%d)", a, b)
+		}
+		if lin := ic.Lin(pf.O, a, b); lin < -1e-12 || lin > 1+1e-12 {
+			t.Fatalf("Lin out of range at (%d,%d): %v", a, b, lin)
+		}
+		if jc := ic.JiangConrath(pf.O, a, b); jc < -1e-12 {
+			t.Fatalf("negative JC distance at (%d,%d): %v", a, b, jc)
+		}
+	}
+}
+
+func TestBestMatchAverage(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	o := pf.O
+	sim := func(a, b ontology.ConceptID) float64 { return WuPalmer(o, a, b) }
+	d1 := pf.Concepts("U", "V")
+	// Identity: BMA of a set with itself is 1 under WuPalmer.
+	if got := BestMatchAverage(d1, d1, sim); math.Abs(got-1) > 1e-12 {
+		t.Errorf("BMA(d,d) = %v", got)
+	}
+	// Symmetry.
+	d2 := pf.Concepts("T", "L")
+	if BestMatchAverage(d1, d2, sim) != BestMatchAverage(d2, d1, sim) {
+		t.Error("BMA asymmetric")
+	}
+	// A closer set scores higher.
+	near := BestMatchAverage(d1, pf.Concepts("R", "S"), sim)
+	far := BestMatchAverage(d1, pf.Concepts("M", "N"), sim)
+	if near <= far {
+		t.Errorf("BMA ordering broken: near=%v far=%v", near, far)
+	}
+	// Empty sets.
+	if BestMatchAverage(nil, d1, sim) != 0 {
+		t.Error("BMA with empty set should be 0")
+	}
+}

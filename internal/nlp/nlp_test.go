@@ -1,0 +1,231 @@
+package nlp
+
+import (
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+// testOntology builds a tiny ontology with realistic terms, synonyms and
+// abbreviations.
+func testOntology() (*ontology.Ontology, map[string]ontology.ConceptID) {
+	b := ontology.NewBuilder("clinical finding")
+	ids := map[string]ontology.ConceptID{}
+	ids["mi"] = b.AddConcept("myocardial infarction", "heart attack", "MI1")
+	ids["dm"] = b.AddConcept("diabetes mellitus", "DM2")
+	ids["hypo"] = b.AddConcept("hypoglycemia")
+	ids["valve"] = b.AddConcept("aortic valve stenosis", "AVS3")
+	ids["brady"] = b.AddConcept("bradycardia")
+	for _, id := range ids {
+		b.MustAddEdge(0, id)
+	}
+	o := b.MustFinalize()
+	return o, ids
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Patient, here: for follow-up. Blood sugar 201!")
+	var got []string
+	for _, tk := range toks {
+		got = append(got, tk.Text)
+	}
+	want := []string{"patient", ".", "here", ".", "for", "follow", "up", ".", "blood", "sugar", "201"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAbbreviationExpansion(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	ab := m.Abbreviations()
+	if ab["dm2"] != "diabetes mellitus" {
+		t.Fatalf("abbreviations = %v", ab)
+	}
+	set := m.ConceptSet("Patient has DM2 and MI1.")
+	if len(set) != 2 {
+		t.Fatalf("concepts = %v, want [mi dm]", set)
+	}
+	hasMI, hasDM := false, false
+	for _, c := range set {
+		if c == ids["mi"] {
+			hasMI = true
+		}
+		if c == ids["dm"] {
+			hasDM = true
+		}
+	}
+	if !hasMI || !hasDM {
+		t.Fatalf("concepts = %v, want both MI and DM", set)
+	}
+}
+
+func TestSynonymMatching(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	set := m.ConceptSet("Presenting after a heart attack last month.")
+	if len(set) != 1 || set[0] != ids["mi"] {
+		t.Fatalf("concepts = %v, want [myocardial infarction]", set)
+	}
+}
+
+func TestNegationDetection(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	cases := []struct {
+		text    string
+		negated bool
+	}{
+		{"Patient has bradycardia.", false},
+		{"No evidence of bradycardia.", true},
+		{"Patient denies bradycardia.", true},
+		{"Absence of bradycardia.", true},
+		{"Negative for bradycardia.", true},
+		{"Without bradycardia today.", true},
+		// Scope terminators end the negation.
+		{"No fever, but bradycardia was observed.", false},
+		{"Denies chest pain. Bradycardia present.", false},
+	}
+	for _, c := range cases {
+		mentions := m.Annotate(c.text)
+		found := false
+		for _, mn := range mentions {
+			if mn.Concept == ids["brady"] {
+				found = true
+				if mn.Negated != c.negated {
+					t.Errorf("%q: negated = %v, want %v", c.text, mn.Negated, c.negated)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%q: bradycardia not recognized", c.text)
+		}
+	}
+}
+
+func TestNegatedConceptsExcludedFromConceptSet(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	// The paper's example phrase: "absence of bradycardia" must not index
+	// bradycardia.
+	set := m.ConceptSet("Follow up diabetes mellitus care. Absence of bradycardia.")
+	if len(set) != 1 || set[0] != ids["dm"] {
+		t.Fatalf("concepts = %v, want only diabetes", set)
+	}
+}
+
+func TestPositiveMentionWinsOverNegated(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	// Mentioned both negated and affirmed: the affirmed mention keeps the
+	// concept in the set.
+	set := m.ConceptSet("No bradycardia at rest. Bradycardia during exercise.")
+	if len(set) != 1 || set[0] != ids["brady"] {
+		t.Fatalf("concepts = %v, want [bradycardia]", set)
+	}
+}
+
+func TestLongestMatch(t *testing.T) {
+	b := ontology.NewBuilder("root")
+	short := b.AddConcept("valve stenosis")
+	long := b.AddConcept("aortic valve stenosis")
+	b.MustAddEdge(0, short)
+	b.MustAddEdge(0, long)
+	o := b.MustFinalize()
+	m := NewMatcher(o)
+	mentions := m.Annotate("Severe aortic valve stenosis found.")
+	if len(mentions) != 1 || mentions[0].Concept != long {
+		t.Fatalf("mentions = %+v, want single longest match", mentions)
+	}
+	mentions = m.Annotate("Severe valve stenosis found.")
+	if len(mentions) != 1 || mentions[0].Concept != short {
+		t.Fatalf("mentions = %+v, want short match", mentions)
+	}
+}
+
+func TestAnnotateSpans(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	mentions := m.Annotate("history of myocardial infarction")
+	if len(mentions) != 1 {
+		t.Fatalf("mentions = %+v", mentions)
+	}
+	mn := mentions[0]
+	if mn.Concept != ids["mi"] || mn.Start != 2 || mn.End != 4 {
+		t.Fatalf("mention = %+v, want concept mi span [2,4)", mn)
+	}
+}
+
+func TestNoMatchNoMention(t *testing.T) {
+	o, _ := testOntology()
+	m := NewMatcher(o)
+	if got := m.Annotate("completely unrelated prose with zero findings"); len(got) != 0 {
+		t.Fatalf("mentions = %+v, want none", got)
+	}
+	if got := m.ConceptSet(""); len(got) != 0 {
+		t.Fatalf("empty text yielded %v", got)
+	}
+}
+
+func TestNegationWindowBoundary(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	// The scope is 7 tokens after the trigger. Bradycardia starting at the
+	// 7th token after "no" is still negated; at the 8th it is not.
+	inside := "no a b c d e f bradycardia"
+	outside := "no a b c d e f g bradycardia"
+	for _, mn := range m.Annotate(inside) {
+		if mn.Concept == ids["brady"] && !mn.Negated {
+			t.Errorf("%q: mention at window edge should be negated", inside)
+		}
+	}
+	for _, mn := range m.Annotate(outside) {
+		if mn.Concept == ids["brady"] && mn.Negated {
+			t.Errorf("%q: mention beyond window should not be negated", outside)
+		}
+	}
+}
+
+func TestMultiWordTermCrossingNegationEdge(t *testing.T) {
+	o, ids := testOntology()
+	m := NewMatcher(o)
+	// "aortic valve stenosis" is 3 tokens; if any token of the mention
+	// falls inside the scope, the mention is negated.
+	text := "no x y z w v aortic valve stenosis"
+	// trigger at 0, scope covers tokens 1..7: "aortic" is token 6, inside.
+	found := false
+	for _, mn := range m.Annotate(text) {
+		if mn.Concept == ids["valve"] {
+			found = true
+			if !mn.Negated {
+				t.Errorf("%q: mention starting inside scope must be negated", text)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("%q: term not recognized", text)
+	}
+}
+
+func TestAnnotateIsDeterministic(t *testing.T) {
+	o, _ := testOntology()
+	m := NewMatcher(o)
+	text := "DM2 with hypoglycemia. No bradycardia. heart attack history."
+	a := m.ConceptSet(text)
+	for i := 0; i < 5; i++ {
+		b := m.ConceptSet(text)
+		if len(a) != len(b) {
+			t.Fatal("nondeterministic annotation")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("nondeterministic annotation order")
+			}
+		}
+	}
+}

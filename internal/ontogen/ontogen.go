@@ -1,0 +1,225 @@
+// Package ontogen generates synthetic concept ontologies calibrated to the
+// SNOMED-CT statistics Arvanitis et al. report in Section 6.1: 296,433
+// concepts, an average of 4.53 children per internal node, 9.78 Dewey path
+// addresses per concept and an average path length of 14.1.
+//
+// Real SNOMED-CT cannot ship with this repository (UMLS licensing), and the
+// algorithms under test touch the ontology only through its DAG structure;
+// the generator therefore reproduces the structural parameters that drive
+// algorithmic cost — size, depth, branching, and multi-parent path
+// multiplicity — rather than medical content. Concept names come from a
+// deterministic pseudo-medical vocabulary so the NLP pipeline has terms,
+// synonyms and abbreviations to work with.
+//
+// Construction is level-based: level sizes follow a geometric profile whose
+// ratio is solved from (NumConcepts, Depth); each node takes a primary
+// parent among the previous level's designated internal nodes, and receives
+// one extra is-a parent with probability ExtraParentProb, which multiplies
+// path counts down the DAG — the mechanism behind SNOMED's ~9.78 paths per
+// concept.
+package ontogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"conceptrank/internal/ontology"
+)
+
+// Config parameterizes a generated ontology. Zero values select SNOMED-like
+// defaults at the configured size (see Normalize).
+type Config struct {
+	// NumConcepts is the total concept count including the root
+	// (paper: 296,433). Default 20,000 — laptop-scale.
+	NumConcepts int
+	// Depth is the number of hierarchy levels below the root
+	// (SNOMED average path length is 14.1). Default 14.
+	Depth int
+	// AvgChildren is the target mean child count over internal nodes
+	// (paper: 4.53).
+	AvgChildren float64
+	// PathsPerConcept is the target mean Dewey address count
+	// (paper: 9.78); it determines the extra-parent probability.
+	PathsPerConcept float64
+	// Seed drives all randomness; generation is deterministic per seed.
+	Seed int64
+	// SynonymProb is the probability a concept gets a synonym term;
+	// AbbrevProb the probability it also gets an abbreviation.
+	SynonymProb float64
+	AbbrevProb  float64
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.NumConcepts <= 0 {
+		c.NumConcepts = 20_000
+	}
+	if c.Depth <= 0 {
+		c.Depth = 14
+	}
+	if c.AvgChildren <= 0 {
+		c.AvgChildren = 4.53
+	}
+	if c.PathsPerConcept <= 0 {
+		c.PathsPerConcept = 9.78
+	}
+	if c.SynonymProb == 0 {
+		c.SynonymProb = 0.4
+	}
+	if c.AbbrevProb == 0 {
+		c.AbbrevProb = 0.15
+	}
+	return c
+}
+
+// SnomedScale returns the configuration matching the paper's full
+// SNOMED-CT is-a graph size.
+func SnomedScale(seed int64) Config {
+	return Config{NumConcepts: 296_433, Seed: seed}.Normalize()
+}
+
+// growthRatio solves sum_{d=0..D} g^d = n for g by bisection.
+func growthRatio(n, depth int) float64 {
+	target := float64(n)
+	sum := func(g float64) float64 {
+		s, p := 0.0, 1.0
+		for d := 0; d <= depth; d++ {
+			s += p
+			p *= g
+		}
+		return s
+	}
+	lo, hi := 1.0001, 64.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if sum(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Generate builds the ontology. It panics only on programmer error; all
+// randomized structure is validated by Builder.Finalize.
+func Generate(cfg Config) (*ontology.Ontology, error) {
+	cfg = cfg.Normalize()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	vocab := newVocab(r)
+
+	g := growthRatio(cfg.NumConcepts, cfg.Depth)
+	// Level sizes L_d ~ g^d, rescaled to exactly NumConcepts-1 non-root
+	// concepts.
+	raw := make([]float64, cfg.Depth+1)
+	total := 0.0
+	p := 1.0
+	for d := 1; d <= cfg.Depth; d++ {
+		p *= g
+		raw[d] = p
+		total += p
+	}
+	sizes := make([]int, cfg.Depth+1)
+	remaining := cfg.NumConcepts - 1
+	for d := 1; d <= cfg.Depth; d++ {
+		sizes[d] = int(math.Round(raw[d] / total * float64(cfg.NumConcepts-1)))
+		if sizes[d] < 1 {
+			sizes[d] = 1
+		}
+		remaining -= sizes[d]
+	}
+	// Distribute rounding remainder onto the deepest level.
+	sizes[cfg.Depth] += remaining
+	if sizes[cfg.Depth] < 1 {
+		return nil, fmt.Errorf("ontogen: config yields empty bottom level (concepts=%d depth=%d)", cfg.NumConcepts, cfg.Depth)
+	}
+
+	// The expected path count of a level-d concept is the product over its
+	// ancestor levels of (1 + actual extra-parent rate at that level); a
+	// level hosts extra parents only when its internal-parent pool (which
+	// itself depends on p) has at least two nodes. Solve p numerically so
+	// the corpus-wide average hits the target.
+	poolFor := func(d int, p float64) int {
+		n := int(math.Ceil(float64(sizes[d]) * (1 + p) / cfg.AvgChildren))
+		if n > sizes[d-1] {
+			n = sizes[d-1]
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	avgPaths := func(p float64) float64 {
+		total := 1.0 // root
+		mu := 1.0    // expected paths at the current level
+		for d := 1; d <= cfg.Depth; d++ {
+			if pool := poolFor(d, p); pool >= 2 {
+				// Collision retries miss with probability (1/pool)^4.
+				miss := math.Pow(1/float64(pool), 4)
+				mu *= 1 + p*(1-miss)
+			}
+			total += float64(sizes[d]) * mu
+		}
+		return total / float64(cfg.NumConcepts)
+	}
+	extraParentProb := 0.0
+	if avgPaths(0.95) > cfg.PathsPerConcept {
+		lo, hi := 0.0, 0.95
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if avgPaths(mid) < cfg.PathsPerConcept {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		extraParentProb = (lo + hi) / 2
+	} else {
+		extraParentProb = 0.95
+	}
+
+	b := ontology.NewBuilder(vocab.rootName())
+	levels := make([][]ontology.ConceptID, cfg.Depth+1)
+	levels[0] = []ontology.ConceptID{b.Root()}
+	for d := 1; d <= cfg.Depth; d++ {
+		parents := levels[d-1]
+		// Designated internal parents of the previous level. Extra edges
+		// add (1+p) children per node on average, so widen the pool to keep
+		// the mean child count of internal nodes at the configured target.
+		nInternal := int(math.Ceil(float64(sizes[d]) * (1 + extraParentProb) / cfg.AvgChildren))
+		if nInternal > len(parents) {
+			nInternal = len(parents)
+		}
+		if nInternal < 1 {
+			nInternal = 1
+		}
+		internal := parents[:nInternal]
+		level := make([]ontology.ConceptID, 0, sizes[d])
+		for i := 0; i < sizes[d]; i++ {
+			name, syns := vocab.concept(r, cfg.SynonymProb, cfg.AbbrevProb)
+			c := b.AddConcept(name, syns...)
+			primary := internal[r.Intn(len(internal))]
+			b.MustAddEdge(primary, c)
+			if len(internal) > 1 && r.Float64() < extraParentProb {
+				// Extra is-a parent within the same level keeps the
+				// hierarchy's depth semantics intact while multiplying
+				// path counts (the DAG-ness of SNOMED). Retry a few times
+				// to dodge collisions with the primary parent.
+				for attempt := 0; attempt < 4; attempt++ {
+					second := internal[r.Intn(len(internal))]
+					if second != primary {
+						_ = b.AddEdge(second, c)
+						break
+					}
+				}
+			}
+			level = append(level, c)
+		}
+		// Shuffle so the internal-node prefix of the next level is a random
+		// subset rather than the first-created nodes.
+		r.Shuffle(len(level), func(i, j int) { level[i], level[j] = level[j], level[i] })
+		levels[d] = level
+	}
+	return b.Finalize()
+}

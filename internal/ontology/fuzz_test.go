@@ -1,0 +1,41 @@
+package ontology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom feeds arbitrary bytes to the deserializer: it must reject
+// or accept them without panicking, and anything it accepts must be a
+// structurally valid ontology.
+func FuzzReadFrom(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := NewPaperFig().O.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CRONT\x01"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: invariants must hold.
+		if o.NumConcepts() == 0 {
+			t.Fatal("accepted ontology with zero concepts")
+		}
+		if len(o.TopoOrder()) != o.NumConcepts() {
+			t.Fatal("accepted ontology with broken topological order")
+		}
+		for c := 0; c < o.NumConcepts(); c++ {
+			for _, p := range o.PathAddressesLimit(ConceptID(c), 4) {
+				if back, ok := o.ResolveAddress(p); !ok || back != ConceptID(c) {
+					t.Fatalf("address %v of %d does not resolve back", p, c)
+				}
+			}
+		}
+	})
+}

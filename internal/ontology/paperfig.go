@@ -1,0 +1,86 @@
+package ontology
+
+// This file reconstructs the running-example ontology of Figure 3 in
+// Arvanitis et al. (EDBT 2014). The figure itself is an image, but the
+// paper's Table 1 (Dewey addresses of the example document and query
+// concepts) together with Examples 1-4 pins the structure down completely:
+//
+//	addresses     I=1.1.1.1  R=1.1.1.2.1.1 / 3.1.1.1.1  U=R.1
+//	              V=1.1.1.2.2.1.1 / 3.1.1.2.1.1  F=3.1  T=3.1.2.1.1.1  L=3.1.2.2
+//	Fig. 4        B, E, G, J lie on the chain 1 -> 1.1 -> 1.1.1 -> 1.1.1.2
+//	Example 2     1.1.1 = G, 1.1.1.2 = 3.1.1 = J, 3.1.2 = H
+//	Example 3     I's down-neighbors are M and N; L's up-neighbor is H
+//	Example 4     F's neighbors are D (parent), J and H (children);
+//	              the chain J->K->O and H->P are expanded at depth 2
+//
+// The resulting 22-node DAG (J has two parents: G and F) is used throughout
+// the test suites as ground truth for DRC and kNDS golden tests.
+
+// PaperFig holds the Figure 3 ontology together with the letter names of its
+// concepts for readable assertions.
+type PaperFig struct {
+	O  *Ontology
+	ID map[string]ConceptID // letter -> concept
+}
+
+// Concept returns the ConceptID for a letter name, panicking on a typo so
+// tests fail loudly.
+func (p *PaperFig) Concept(letter string) ConceptID {
+	id, ok := p.ID[letter]
+	if !ok {
+		panic("paperfig: unknown concept " + letter)
+	}
+	return id
+}
+
+// Concepts maps several letter names at once.
+func (p *PaperFig) Concepts(letters ...string) []ConceptID {
+	out := make([]ConceptID, len(letters))
+	for i, l := range letters {
+		out[i] = p.Concept(l)
+	}
+	return out
+}
+
+// NewPaperFig builds the Figure 3 ontology.
+func NewPaperFig() *PaperFig {
+	b := NewBuilder("A")
+	ids := map[string]ConceptID{"A": 0}
+	add := func(letter string) {
+		ids[letter] = b.AddConcept(letter)
+	}
+	for _, l := range []string{
+		"B", "C", "D", "E", "F", "G", "H", "I", "J", "K",
+		"L", "M", "N", "O", "P", "Q", "R", "S", "T", "U", "V",
+	} {
+		add(l)
+	}
+	edge := func(parent, child string) { b.MustAddEdge(ids[parent], ids[child]) }
+
+	// Dewey digits are assigned by insertion order, so the order below is
+	// load-bearing: it reproduces the exact addresses of Table 1.
+	edge("A", "B") // B = 1
+	edge("A", "C") // C = 2
+	edge("A", "D") // D = 3
+	edge("B", "E") // E = 1.1
+	edge("E", "G") // G = 1.1.1
+	edge("G", "I") // I = 1.1.1.1
+	edge("G", "J") // J = 1.1.1.2
+	edge("D", "F") // F = 3.1
+	edge("F", "J") // J also = 3.1.1 (second parent)
+	edge("F", "H") // H = 3.1.2
+	edge("I", "M") // M = 1.1.1.1.1
+	edge("I", "N") // N = 1.1.1.1.2
+	edge("J", "K") // K = J.1
+	edge("J", "O") // O = J.2
+	edge("K", "R") // R = K.1 -> 1.1.1.2.1.1 and 3.1.1.1.1
+	edge("R", "U") // U = R.1
+	edge("O", "S") // S = O.1
+	edge("S", "V") // V = S.1 -> 1.1.1.2.2.1.1 and 3.1.1.2.1.1
+	edge("H", "P") // P = H.1
+	edge("H", "L") // L = H.2 -> 3.1.2.2
+	edge("P", "Q") // Q = P.1
+	edge("Q", "T") // T = Q.1 -> 3.1.2.1.1.1
+
+	return &PaperFig{O: b.MustFinalize(), ID: ids}
+}

@@ -1,0 +1,218 @@
+package ontology
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary serialization for ontologies. The format is self-describing and
+// checksummed so a truncated or corrupted file is detected on load:
+//
+//	magic   "CRONT\x01"
+//	uvarint concept count n
+//	n x     { uvarint len(name), name bytes,
+//	          uvarint synonym count, synonyms... }
+//	n x     { uvarint child count, uvarint child IDs... }   (Dewey order)
+//	uint32  little-endian CRC32 (IEEE) of everything above
+//
+// Child lists alone define the DAG; parents, digits, depths and the
+// topological order are reconstructed on load via Builder.Finalize, which
+// also re-validates structural invariants.
+
+var serializeMagic = []byte("CRONT\x01")
+
+// ErrBadFormat reports a malformed or corrupted serialized ontology.
+var ErrBadFormat = errors.New("ontology: bad serialized format")
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// WriteTo serializes o. It returns the number of bytes written.
+func (o *Ontology) WriteTo(w io.Writer) (int64, error) {
+	cw := &crcWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.Write(serializeMagic); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(cw, uint64(o.NumConcepts())); err != nil {
+		return cw.n, err
+	}
+	for c := 0; c < o.NumConcepts(); c++ {
+		if err := writeString(cw, o.names[c]); err != nil {
+			return cw.n, err
+		}
+		if err := writeUvarint(cw, uint64(len(o.synonyms[c]))); err != nil {
+			return cw.n, err
+		}
+		for _, s := range o.synonyms[c] {
+			if err := writeString(cw, s); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	for c := 0; c < o.NumConcepts(); c++ {
+		if err := writeUvarint(cw, uint64(len(o.children[c]))); err != nil {
+			return cw.n, err
+		}
+		for _, ch := range o.children[c] {
+			if err := writeUvarint(cw, uint64(ch)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := cw.w.Write(crcBuf[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, cw.w.Flush()
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := io.ReadFull(c.r, p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func readString(r *crcReader, maxLen uint64) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", fmt.Errorf("%w: string length %d exceeds limit", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := r.Read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadFrom deserializes an ontology previously written with WriteTo,
+// verifying the checksum and re-running full structural validation.
+func ReadFrom(r io.Reader) (*Ontology, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(serializeMagic))
+	if _, err := cr.Read(magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != string(serializeMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	n, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if n == 0 || n > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: implausible concept count %d", ErrBadFormat, n)
+	}
+	type conceptRec struct {
+		name string
+		syns []string
+	}
+	recs := make([]conceptRec, n)
+	for i := range recs {
+		name, err := readString(cr, 1<<20)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		recs[i].name = name
+		sn, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if sn > 1<<16 {
+			return nil, fmt.Errorf("%w: implausible synonym count %d", ErrBadFormat, sn)
+		}
+		for j := uint64(0); j < sn; j++ {
+			s, err := readString(cr, 1<<20)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			recs[i].syns = append(recs[i].syns, s)
+		}
+	}
+
+	b := NewBuilder(recs[0].name)
+	b.synonyms[0] = recs[0].syns
+	for i := uint64(1); i < n; i++ {
+		b.AddConcept(recs[i].name, recs[i].syns...)
+	}
+	for parent := uint64(0); parent < n; parent++ {
+		cn, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if cn > n {
+			return nil, fmt.Errorf("%w: implausible child count %d", ErrBadFormat, cn)
+		}
+		for j := uint64(0); j < cn; j++ {
+			child, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			if child >= n {
+				return nil, fmt.Errorf("%w: child id %d out of range", ErrBadFormat, child)
+			}
+			if err := b.AddEdge(ConceptID(parent), ConceptID(child)); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+		}
+	}
+	wantCRC := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadFormat, err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
+	}
+	o, err := b.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return o, nil
+}

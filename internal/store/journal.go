@@ -1,0 +1,227 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Journal is an append-only write-ahead log for dynamically indexed
+// documents, giving the on-the-fly ingestion path (index.Dynamic) crash
+// durability: every AddDocument is logged before it is acknowledged, and
+// on restart Replay rebuilds the in-memory index. A torn tail record —
+// the normal result of a crash mid-append — is detected by length and
+// checksum and truncated away; anything before it is intact.
+//
+// Record layout, repeated after a "CRWAL\x01" header:
+//
+//	uint32 LE payload length
+//	payload: uvarint len(name), name bytes,
+//	         uvarint concept count, delta-uvarint concept IDs
+//	uint32 LE CRC32 (IEEE) of the payload
+type Journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+var journalMagic = []byte("CRWAL\x01")
+
+// ErrBadRecord reports a malformed journal record in strict mode.
+var ErrBadRecord = errors.New("store: bad journal record")
+
+// JournalRecord is one logged document.
+type JournalRecord struct {
+	Name     string
+	Concepts []uint32 // sorted ascending
+}
+
+// OpenJournal opens (or creates) a journal for appending. Existing content
+// is validated lazily by Replay; OpenJournal itself only checks/writes the
+// header and truncates any torn tail so appends land on a clean boundary.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		if _, err := f.Write(journalMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		hdr := make([]byte, len(journalMagic))
+		if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != string(journalMagic) {
+			f.Close()
+			return nil, fmt.Errorf("%w: bad journal header", ErrBadRecord)
+		}
+		// Find the end of the valid prefix and truncate a torn tail.
+		valid, _, err := scanJournal(f, nil)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append logs one document. The record is buffered; call Sync to make it
+// durable (or rely on Close).
+func (j *Journal) Append(rec JournalRecord) error {
+	var payload []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		payload = append(payload, tmp[:n]...)
+	}
+	put(uint64(len(rec.Name)))
+	payload = append(payload, rec.Name...)
+	put(uint64(len(rec.Concepts)))
+	prev := uint64(0)
+	for i, c := range rec.Concepts {
+		if i > 0 && uint64(c) < prev {
+			return fmt.Errorf("store: journal concepts not sorted")
+		}
+		put(uint64(c) - prev)
+		prev = uint64(c)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(payload))
+	_, err := j.w.Write(hdr[:])
+	return err
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (j *Journal) Sync() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close flushes, syncs and closes the journal.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// scanJournal walks records from the header on, calling fn (if non-nil)
+// per valid record, and returns the offset just past the last valid record
+// plus the record count. A torn or corrupt tail ends the scan without
+// error — that is the crash-recovery contract.
+func scanJournal(f *os.File, fn func(JournalRecord) error) (validEnd int64, count int, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	size := fi.Size()
+	off := int64(len(journalMagic))
+	r := bufio.NewReader(io.NewSectionReader(f, off, size-off))
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, count, nil // clean EOF or torn length header
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if int64(n) > size { // implausible length: treat as torn tail
+			return off, count, nil
+		}
+		buf := make([]byte, n+4)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return off, count, nil // torn payload
+		}
+		payload := buf[:n]
+		if binary.LittleEndian.Uint32(buf[n:]) != crc32.ChecksumIEEE(payload) {
+			return off, count, nil // corrupt tail
+		}
+		rec, ok := decodeJournalPayload(payload)
+		if !ok {
+			return off, count, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, count, err
+			}
+		}
+		off += int64(4 + len(buf))
+		count++
+	}
+}
+
+func decodeJournalPayload(p []byte) (JournalRecord, bool) {
+	var rec JournalRecord
+	pos := 0
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	nameLen, ok := next()
+	if !ok || uint64(pos)+nameLen > uint64(len(p)) {
+		return rec, false
+	}
+	rec.Name = string(p[pos : pos+int(nameLen)])
+	pos += int(nameLen)
+	cnt, ok := next()
+	if !ok || cnt > uint64(len(p)) {
+		return rec, false
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < cnt; i++ {
+		d, ok := next()
+		if !ok {
+			return rec, false
+		}
+		prev += d
+		rec.Concepts = append(rec.Concepts, uint32(prev))
+	}
+	return rec, pos == len(p)
+}
+
+// ReplayJournal reads every intact record of a journal file in order.
+// Missing files yield zero records and no error (a fresh deployment).
+func ReplayJournal(path string, fn func(JournalRecord) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != string(journalMagic) {
+		return 0, fmt.Errorf("%w: bad journal header", ErrBadRecord)
+	}
+	_, count, err := scanJournal(f, fn)
+	return count, err
+}

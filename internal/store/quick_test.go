@@ -1,0 +1,102 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// quickEntries is a generatable key→values table for testing/quick.
+type quickEntries map[uint16][]uint16
+
+// Generate implements quick.Generator.
+func (quickEntries) Generate(r *rand.Rand, size int) reflect.Value {
+	e := quickEntries{}
+	n := r.Intn(size%20 + 1)
+	for i := 0; i < n; i++ {
+		key := uint16(r.Intn(1000))
+		m := r.Intn(16)
+		vals := make([]uint16, m)
+		for j := range vals {
+			vals[j] = uint16(r.Intn(5000))
+		}
+		e[key] = vals
+	}
+	return reflect.ValueOf(e)
+}
+
+// TestQuickStoreRoundTrip: any generated table written in key order reads
+// back exactly, key by key.
+func TestQuickStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(e quickEntries) bool {
+		i++
+		path := filepath.Join(dir, "q", "")
+		path = filepath.Join(dir, "q"+itoa(i)+".crs")
+		keys := make([]int, 0, len(e))
+		for k := range e {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		w, err := Create(path)
+		if err != nil {
+			return false
+		}
+		want := map[uint32][]uint32{}
+		for _, k := range keys {
+			vals := append([]uint16(nil), e[uint16(k)]...)
+			sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+			// deduplicate so values are strictly usable, keep ascending
+			u32 := make([]uint32, len(vals))
+			for i, v := range vals {
+				u32[i] = uint32(v)
+			}
+			if err := w.Append(uint32(k), u32); err != nil {
+				return false
+			}
+			want[uint32(k)] = u32
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		file, err := Open(path, nil, 0)
+		if err != nil {
+			return false
+		}
+		defer file.Close()
+		if file.NumKeys() != len(want) {
+			return false
+		}
+		for k, vals := range want {
+			got, err := file.Lookup(k)
+			if err != nil || len(got) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,237 @@
+// Package ta implements the Threshold Algorithm baseline sketched in
+// Section 4.1 of Arvanitis et al. (EDBT 2014): precompute, for each query
+// concept, a postings list of (document, Ddc) pairs sorted by ascending
+// distance, then run Fagin's TA with sorted and random access to find the
+// k documents minimizing Ddq.
+//
+// The paper argues this design is only viable for RDS — the precomputation
+// costs O(|D||C|) space over the full concept vocabulary, updates require
+// touching every list, and the dual (document-document) distance of SDS
+// defeats the threshold bound. This package exists to demonstrate those
+// trade-offs quantitatively: Build cost is reported separately from query
+// cost, and only RDS is offered.
+package ta
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+)
+
+// Posting is one (document, distance) entry of a concept's list.
+type Posting struct {
+	Doc  corpus.DocID
+	Dist int32
+}
+
+// Index holds distance-sorted postings for a set of concepts.
+type Index struct {
+	o     *ontology.Ontology
+	lists map[ontology.ConceptID][]Posting
+	// random access support: per concept, doc -> distance
+	direct map[ontology.ConceptID]map[corpus.DocID]int32
+	docs   int
+	// BuildTime records the (offline, in the paper's architecture)
+	// precomputation cost.
+	BuildTime time.Duration
+}
+
+// Result mirrors core.Result without importing it (keeps the baseline
+// package dependency-light).
+type Result struct {
+	Doc      corpus.DocID
+	Distance float64
+}
+
+// Stats reports TA execution effort.
+type Stats struct {
+	SortedAccesses int
+	RandomAccesses int
+	QueryTime      time.Duration
+}
+
+// validDistancesFrom computes D(c, x) for every concept x via a
+// phase-labeled BFS over valid (up* down*) paths.
+func validDistancesFrom(o *ontology.Ontology, c ontology.ConceptID) []int32 {
+	const inf = int32(1<<31 - 1)
+	up := make([]int32, o.NumConcepts())
+	down := make([]int32, o.NumConcepts())
+	for i := range up {
+		up[i] = inf
+		down[i] = inf
+	}
+	type state struct {
+		n    ontology.ConceptID
+		down bool
+	}
+	up[c] = 0
+	frontier := []state{{c, false}}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []state
+		for _, s := range frontier {
+			if !s.down {
+				for _, p := range o.Parents(s.n) {
+					if up[p] == inf {
+						up[p] = d
+						next = append(next, state{p, false})
+					}
+				}
+			}
+			for _, ch := range o.Children(s.n) {
+				if down[ch] == inf && up[ch] == inf {
+					down[ch] = d
+					next = append(next, state{ch, true})
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]int32, o.NumConcepts())
+	for i := range out {
+		out[i] = up[i]
+		if down[i] < out[i] {
+			out[i] = down[i]
+		}
+	}
+	return out
+}
+
+// Build precomputes the distance-sorted postings lists of the given
+// concepts over the whole collection. In the paper's baseline architecture
+// this is an offline index over all of C (O(|D||C|) space); here it is
+// materialized for the concept set actually benchmarked.
+func Build(o *ontology.Ontology, coll *corpus.Collection, fwd index.Forward, concepts []ontology.ConceptID) (*Index, error) {
+	start := time.Now()
+	ix := &Index{
+		o:      o,
+		lists:  make(map[ontology.ConceptID][]Posting, len(concepts)),
+		direct: make(map[ontology.ConceptID]map[corpus.DocID]int32, len(concepts)),
+		docs:   coll.NumDocs(),
+	}
+	for _, c := range concepts {
+		dists := validDistancesFrom(o, c)
+		list := make([]Posting, 0, coll.NumDocs())
+		dmap := make(map[corpus.DocID]int32, coll.NumDocs())
+		for _, doc := range coll.Docs() {
+			if len(doc.Concepts) == 0 {
+				continue
+			}
+			best := int32(1<<31 - 1)
+			for _, cc := range doc.Concepts {
+				if d := dists[cc]; d < best {
+					best = d
+				}
+			}
+			list = append(list, Posting{Doc: doc.ID, Dist: best})
+			dmap[doc.ID] = best
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Dist != list[j].Dist {
+				return list[i].Dist < list[j].Dist
+			}
+			return list[i].Doc < list[j].Doc
+		})
+		ix.lists[c] = list
+		ix.direct[c] = dmap
+	}
+	ix.BuildTime = time.Since(start)
+	return ix, nil
+}
+
+// ErrMissingList reports a query concept without a precomputed list.
+var ErrMissingList = errors.New("ta: no precomputed postings for concept")
+
+// TopK runs the Threshold Algorithm for an RDS query. Every query concept
+// must have been included in Build.
+func (ix *Index) TopK(q []ontology.ConceptID, k int) ([]Result, Stats, error) {
+	var st Stats
+	start := time.Now()
+	defer func() { st.QueryTime = time.Since(start) }()
+
+	lists := make([][]Posting, len(q))
+	for i, c := range q {
+		l, ok := ix.lists[c]
+		if !ok {
+			return nil, st, ErrMissingList
+		}
+		lists[i] = l
+	}
+	if k <= 0 {
+		k = 10
+	}
+
+	type scored struct {
+		doc  corpus.DocID
+		dist float64
+	}
+	seen := make(map[corpus.DocID]bool)
+	var best []scored // kept sorted ascending, at most k entries
+	insert := func(s scored) {
+		pos := sort.Search(len(best), func(i int) bool {
+			if best[i].dist != s.dist {
+				return best[i].dist > s.dist
+			}
+			return best[i].doc > s.doc
+		})
+		best = append(best, scored{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = s
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+
+	pos := make([]int, len(q))
+	for {
+		// One round of sorted access across all lists.
+		exhausted := true
+		var threshold float64
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				if len(l) > 0 {
+					threshold += float64(l[len(l)-1].Dist)
+				}
+				continue
+			}
+			exhausted = false
+			p := l[pos[i]]
+			pos[i]++
+			st.SortedAccesses++
+			threshold += float64(p.Dist)
+			if seen[p.Doc] {
+				continue
+			}
+			seen[p.Doc] = true
+			// Random access: complete the aggregate over all lists.
+			total := 0.0
+			for j, c := range q {
+				if j == i {
+					total += float64(p.Dist)
+					continue
+				}
+				st.RandomAccesses++
+				total += float64(ix.direct[c][p.Doc])
+			}
+			insert(scored{doc: p.Doc, dist: total})
+		}
+		// TA stopping rule: the k-th aggregate is at or below the threshold
+		// (sum of distances at the current sorted positions), so no unseen
+		// document can do better.
+		if len(best) >= k && best[len(best)-1].dist <= threshold {
+			break
+		}
+		if exhausted {
+			break
+		}
+	}
+
+	out := make([]Result, len(best))
+	for i, s := range best {
+		out[i] = Result{Doc: s.doc, Distance: s.dist}
+	}
+	return out, st, nil
+}

@@ -1,0 +1,147 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+)
+
+func TestValidDistancesMatchBruteForce(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	for _, letter := range []string{"F", "I", "R", "L", "A", "V"} {
+		c := pf.Concept(letter)
+		dists := validDistancesFrom(pf.O, c)
+		for x := 0; x < pf.O.NumConcepts(); x++ {
+			want := distance.ConceptDistance(pf.O, c, ontology.ConceptID(x))
+			if int(dists[x]) != want {
+				t.Errorf("D(%s,%s) = %d, want %d", letter, pf.O.Name(ontology.ConceptID(x)), dists[x], want)
+			}
+		}
+	}
+}
+
+func randomSetup(r *rand.Rand) (*ontology.Ontology, *corpus.Collection) {
+	b := ontology.NewBuilder("root")
+	ids := []ontology.ConceptID{0}
+	n := 20 + r.Intn(80)
+	for i := 1; i < n; i++ {
+		c := b.AddConcept("c")
+		parent := ids[r.Intn(len(ids))]
+		b.MustAddEdge(parent, c)
+		if r.Float64() < 0.3 && len(ids) > 2 {
+			p2 := ids[r.Intn(len(ids)-1)]
+			if p2 != parent {
+				_ = b.AddEdge(p2, c)
+			}
+		}
+		ids = append(ids, c)
+	}
+	o := b.MustFinalize()
+	coll := corpus.New()
+	for i := 0; i < 10+r.Intn(50); i++ {
+		m := 1 + r.Intn(6)
+		cs := make([]ontology.ConceptID, m)
+		for j := range cs {
+			cs[j] = ontology.ConceptID(r.Intn(o.NumConcepts()))
+		}
+		coll.Add("d", 0, cs)
+	}
+	return o, coll
+}
+
+func TestQuickTAAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	for iter := 0; iter < 25; iter++ {
+		o, coll := randomSetup(r)
+		fwd := index.BuildMemForward(coll)
+		nq := 1 + r.Intn(4)
+		q := make([]ontology.ConceptID, nq)
+		for i := range q {
+			q[i] = ontology.ConceptID(r.Intn(o.NumConcepts()))
+		}
+		ix, err := Build(o, coll, fwd, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + r.Intn(6)
+		got, stats, err := ix.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		bl := distance.NewBL(o, 0)
+		var all []float64
+		for _, d := range coll.Docs() {
+			if len(d.Concepts) == 0 {
+				continue
+			}
+			all = append(all, bl.DocQuery(d.Concepts, q))
+		}
+		sort.Float64s(all)
+		want := k
+		if len(all) < k {
+			want = len(all)
+		}
+		if len(got) != want {
+			t.Fatalf("iter %d: %d results, want %d", iter, len(got), want)
+		}
+		for i, res := range got {
+			if math.Abs(res.Distance-all[i]) > 1e-9 {
+				t.Fatalf("iter %d: rank %d distance %v, want %v", iter, i, res.Distance, all[i])
+			}
+			trueDist := bl.DocQuery(coll.Doc(res.Doc).Concepts, q)
+			if math.Abs(res.Distance-trueDist) > 1e-9 {
+				t.Fatalf("iter %d: doc %d distance %v, true %v", iter, res.Doc, res.Distance, trueDist)
+			}
+		}
+		if stats.SortedAccesses == 0 {
+			t.Error("no sorted accesses recorded")
+		}
+	}
+}
+
+func TestTAEarlyTermination(t *testing.T) {
+	// A corpus where the best documents sit at the head of every list: TA
+	// must not scan everything.
+	pf := ontology.NewPaperFig()
+	coll := corpus.New()
+	coll.Add("hit", 0, pf.Concepts("F", "I")) // distance 0 on both lists
+	for i := 0; i < 200; i++ {
+		coll.Add("miss", 0, pf.Concepts("V")) // far from both
+	}
+	fwd := index.BuildMemForward(coll)
+	q := pf.Concepts("F", "I")
+	ix, err := Build(pf.O, coll, fwd, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ix.TopK(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Doc != 0 || got[0].Distance != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if stats.SortedAccesses > 10 {
+		t.Errorf("TA did %d sorted accesses; early termination failed", stats.SortedAccesses)
+	}
+}
+
+func TestTAMissingList(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	coll := corpus.New()
+	coll.Add("d", 0, pf.Concepts("F"))
+	ix, err := Build(pf.O, coll, index.BuildMemForward(coll), pf.Concepts("F"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.TopK(pf.Concepts("I"), 1); err == nil {
+		t.Error("query over unindexed concept accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package conceptrank
+
+// Alternative semantic similarity measures (the paper's Section 2 survey
+// and Section 7 future work) and ontology-based query expansion (related
+// work: Lu et al., Matos et al.; distance merging per footnote 3 of the
+// paper). These pair with full-scan ranking — kNDS's bounds are specific
+// to the additive shortest-path distance the paper adopts.
+
+import (
+	"conceptrank/internal/drc"
+	"conceptrank/internal/expand"
+	"conceptrank/internal/ir"
+	"conceptrank/internal/metrics"
+)
+
+// ICTable holds corpus-derived information content per concept, the basis
+// of the Resnik/Lin/Jiang-Conrath measures.
+type ICTable = metrics.ICTable
+
+// ComputeIC derives information content from a collection's concept
+// frequencies (descendant-aggregated, DAG-exact).
+func ComputeIC(o *Ontology, coll *Collection) *ICTable { return metrics.ComputeIC(o, coll) }
+
+// LCS returns the Least Common Subsumer (deepest common ancestor) of two
+// concepts.
+func LCS(o *Ontology, a, b ConceptID) (ConceptID, bool) { return metrics.LCS(o, a, b) }
+
+// WuPalmer returns the Wu-Palmer similarity in (0, 1].
+func WuPalmer(o *Ontology, a, b ConceptID) float64 { return metrics.WuPalmer(o, a, b) }
+
+// LeacockChodorow returns the Leacock-Chodorow similarity (higher = more
+// similar).
+func LeacockChodorow(o *Ontology, a, b ConceptID) float64 {
+	return metrics.LeacockChodorow(o, a, b)
+}
+
+// BestMatchAverage aggregates any concept similarity to document level
+// (Pesquita et al.'s best-match average).
+func BestMatchAverage(d1, d2 []ConceptID, sim func(a, b ConceptID) float64) float64 {
+	return metrics.BestMatchAverage(d1, d2, metrics.Similarity(sim))
+}
+
+// Expansion is one query-expansion suggestion.
+type Expansion = expand.Expansion
+
+// ExpandQuery suggests concepts within radius of each seed concept,
+// nearest first, at most maxPerSeed per seed (0 = unlimited).
+func ExpandQuery(o *Ontology, seeds []ConceptID, radius, maxPerSeed int) []Expansion {
+	return expand.Expand(o, seeds, radius, maxPerSeed)
+}
+
+// MergedResult is one entry of a multi-query merged ranking.
+type MergedResult = expand.Result
+
+// MergedRDS ranks the engine's collection against several queries at once,
+// scoring each document with the normalized sum of per-query distances
+// (footnote 3 of the paper). It scans the whole collection.
+func (e *Engine) MergedRDS(queries [][]ConceptID, k int) ([]MergedResult, error) {
+	return expand.MergedRDS(e.o, e.fwd, e.numDocs(), queries, k)
+}
+
+// Text + concept hybrid retrieval (the paper's Section 7 future work:
+// "combine our methods with IR ranking").
+
+// TextIndex is a BM25 text index over document bodies.
+type TextIndex = ir.Index
+
+// BuildTextIndex indexes document texts; slice position is the DocID.
+func BuildTextIndex(texts []string) *TextIndex { return ir.BuildIndex(texts) }
+
+// HybridResult is one blended text+concept ranking entry.
+type HybridResult = ir.Result
+
+// HybridRDS blends concept-based relevance with BM25 text relevance:
+// alpha = 1 is pure semantic ranking, alpha = 0 pure BM25. The semantic
+// side scans the collection (exact distances for every document), so this
+// is an offline/analytics path rather than the kNDS fast path.
+func (e *Engine) HybridRDS(query []ConceptID, textQuery string, tix *TextIndex, alpha float64, k int) ([]HybridResult, error) {
+	scan, _, err := e.inner.FullScanRDS(query, e.numDocs(), false)
+	if err != nil {
+		return nil, err
+	}
+	sem := make(map[DocID]float64, len(scan))
+	for _, r := range scan {
+		sem[r.Doc] = r.Distance
+	}
+	return ir.Hybrid(sem, tix.Scores(textQuery), alpha, k), nil
+}
+
+// Weighted document distances (Melton et al.'s general weighted form; the
+// paper evaluates the equal-weight special case). A natural weight choice
+// is information content: w = ic.IC.
+
+// WeightFunc assigns a non-negative weight to a concept.
+type WeightFunc = drc.WeightFunc
+
+// DocDocDistanceWeighted computes the weighted symmetric document distance
+// with per-concept weights; w ≡ 1 reduces to DocDocDistance.
+func DocDocDistanceWeighted(o *Ontology, d1, d2 []ConceptID, w WeightFunc) (float64, error) {
+	return drc.NewCalculator(o, 0).DocDocWeighted(d1, d2, w)
+}
+
+// DocQueryDistanceWeighted computes the weighted, weight-normalized
+// document-query distance.
+func DocQueryDistanceWeighted(o *Ontology, d, q []ConceptID, w WeightFunc) (float64, error) {
+	return drc.NewCalculator(o, 0).DocQueryWeighted(d, q, w)
+}
