@@ -1,0 +1,27 @@
+# Development targets; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: build test test-race vet bench experiments
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-bearing packages: the parallel kNDS engine
+# and its serial-equivalence suite, the worker pool primitives, and the
+# shared address cache.
+test-race:
+	$(GO) test -race -count=2 ./internal/core/... ./internal/drc/... ./internal/pool/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Regenerate the EXPERIMENTS.md tables at laptop scale.
+experiments:
+	$(GO) run ./cmd/crbench -scale small -exp all

@@ -27,9 +27,11 @@ func main() {
 		scaleName = flag.String("scale", "small", "environment scale: small, medium or paper")
 		exp       = flag.String("exp", "all", "experiment: "+strings.Join(bench.Names(), ", "))
 		seed      = flag.Int64("seed", 1, "generator seed")
+		workers   = flag.Int("workers", 1, "intra-query Options.Workers for the reproduction workloads (1 = the paper's serial engine; results identical either way)")
 		outPath   = flag.String("out", "", "also write the markdown to this file")
 	)
 	flag.Parse()
+	bench.QueryWorkers = *workers
 
 	scale, err := bench.ScaleByName(*scaleName)
 	if err != nil {

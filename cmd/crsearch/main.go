@@ -31,6 +31,7 @@ func main() {
 		docID     = flag.Int("doc", -1, "query document ID (sds)")
 		k         = flag.Int("k", 10, "number of results")
 		eps       = flag.Float64("eps", 0.5, "kNDS error threshold")
+		workers   = flag.Int("workers", 0, "intra-query DRC workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		baseline  = flag.Bool("baseline", false, "also run the full-scan baseline and compare")
 	)
 	flag.Parse()
@@ -84,7 +85,7 @@ func main() {
 	}
 	fmt.Println()
 
-	opts := conceptrank.Options{K: *k, ErrorThreshold: *eps}
+	opts := conceptrank.Options{K: *k, ErrorThreshold: *eps, Workers: *workers}
 	var results []conceptrank.Result
 	var m *conceptrank.Metrics
 	if strings.ToLower(*queryType) == "sds" {
@@ -98,9 +99,13 @@ func main() {
 	for i, r := range results {
 		fmt.Printf("%2d. doc %-6d %-24s distance %.4f\n", i+1, r.Doc, coll.Doc(r.Doc).Name, r.Distance)
 	}
-	fmt.Printf("\nkNDS: %v total (%v distance calc, %v traversal, %v io); examined %d of %d discovered; %d DRC calls\n",
+	fmt.Printf("\nkNDS: %v total (%v distance calc, %v traversal, %v io); examined %d of %d discovered; %d DRC calls",
 		m.TotalTime.Round(1000), m.DistanceTime.Round(1000), m.TraversalTime.Round(1000), m.IOTime.Round(1000),
 		m.DocsExamined, m.DocsDiscovered, m.DRCCalls)
+	if m.SpeculativeDRC > 0 {
+		fmt.Printf(" (%d speculative)", m.SpeculativeDRC)
+	}
+	fmt.Println()
 
 	if *baseline {
 		var scan []conceptrank.Result

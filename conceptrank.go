@@ -32,6 +32,7 @@
 package conceptrank
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -71,7 +72,9 @@ type (
 	Result = core.Result
 	// Metrics reports where a query spent its time.
 	Metrics = core.Metrics
-	// Options configures a kNDS query (k, error threshold, queue limit...).
+	// Options configures a kNDS query (k, error threshold, queue limit,
+	// intra-query Workers — see the Parallel execution section of
+	// DESIGN.md; results are identical at every Workers setting).
 	Options = core.Options
 	// OntologyConfig parameterizes the synthetic ontology generator.
 	OntologyConfig = ontogen.Config
@@ -342,7 +345,11 @@ func (e *Engine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Metrics, er
 }
 
 // BatchRDS evaluates many RDS queries concurrently over a worker pool
-// (workers <= 0 selects GOMAXPROCS). Results are in input order.
+// (workers <= 0 selects GOMAXPROCS). Results are in input order; the
+// first error cancels the queries not yet started. Within a batch each
+// query defaults to a serial engine (Options.Workers == 0 is treated as
+// 1); set Options.Workers explicitly to stack intra-query parallelism on
+// top.
 func (e *Engine) BatchRDS(queries [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
 	return e.inner.BatchRDS(queries, opts, workers)
 }
@@ -350,6 +357,17 @@ func (e *Engine) BatchRDS(queries [][]ConceptID, opts Options, workers int) ([][
 // BatchSDS evaluates many SDS queries concurrently.
 func (e *Engine) BatchSDS(queryDocs [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
 	return e.inner.BatchSDS(queryDocs, opts, workers)
+}
+
+// BatchRDSContext is BatchRDS under a caller context: cancellation stops
+// scheduling further queries and returns the context's error.
+func (e *Engine) BatchRDSContext(ctx context.Context, queries [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.inner.BatchRDSContext(ctx, queries, opts, workers)
+}
+
+// BatchSDSContext is BatchSDS under a caller context.
+func (e *Engine) BatchSDSContext(ctx context.Context, queryDocs [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.inner.BatchSDSContext(ctx, queryDocs, opts, workers)
 }
 
 // FullScanRDS ranks by scanning the whole collection (the evaluation
@@ -361,6 +379,19 @@ func (e *Engine) FullScanRDS(query []ConceptID, k int) ([]Result, *Metrics, erro
 // FullScanSDS is the full-scan baseline for similarity queries.
 func (e *Engine) FullScanSDS(queryDoc []ConceptID, k int) ([]Result, *Metrics, error) {
 	return e.inner.FullScanSDS(queryDoc, k, false)
+}
+
+// FullScanRDSParallel is FullScanRDS with the scan partitioned across
+// workers (<= 0 selects GOMAXPROCS); results are identical to the serial
+// scan.
+func (e *Engine) FullScanRDSParallel(query []ConceptID, k, workers int) ([]Result, *Metrics, error) {
+	return e.inner.FullScanRDSParallel(query, k, workers)
+}
+
+// FullScanSDSParallel is the partitioned full-scan baseline for
+// similarity queries.
+func (e *Engine) FullScanSDSParallel(queryDoc []ConceptID, k, workers int) ([]Result, *Metrics, error) {
+	return e.inner.FullScanSDSParallel(queryDoc, k, workers)
 }
 
 // SaveOntology writes o to path in the checksummed binary format.

@@ -48,6 +48,9 @@ type nodesResult struct {
 }
 
 func runWorkloadNodes(ds *Dataset, queries [][]ontology.ConceptID, opts core.Options) (nodesResult, error) {
+	if opts.Workers == 0 {
+		opts.Workers = QueryWorkers
+	}
 	var total time.Duration
 	var nodes float64
 	for _, q := range queries {
@@ -235,7 +238,7 @@ func All(env *Env) ([]*Table, error) {
 		return nil, err
 	}
 	out = append(out, ex)
-	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment} {
+	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery} {
 		tbl, err := fn(env)
 		if err != nil {
 			return nil, err
@@ -248,7 +251,7 @@ func All(env *Env) ([]*Table, error) {
 // Experiment names accepted by Run.
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
-	"dedup", "queue", "skip", "store", "ta", "all",
+	"dedup", "queue", "skip", "store", "ta", "parallel", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -287,6 +290,16 @@ func Run(env *Env, name string) ([]*Table, error) {
 	case "ta":
 		t, err := TAExperiment(env)
 		return []*Table{t}, err
+	case "parallel":
+		inter, err := ParallelSpeedup(env)
+		if err != nil {
+			return nil, err
+		}
+		intra, err := ParallelIntraQuery(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{inter, intra}, nil
 	case "all", "":
 		return All(env)
 	}

@@ -1,84 +1,102 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
-	"sync"
 
 	"conceptrank/internal/ontology"
+	"conceptrank/internal/pool"
 )
 
 // Batch evaluation: the engine is safe for concurrent queries (its indexes
 // are read-only or internally synchronized), so query workloads — the
 // experiment harness, bulk cohort screens, the paper's suggested
-// MapReduce-style deployment — can fan out over a worker pool. Results are
-// returned in input order; the first error cancels remaining work.
+// MapReduce-style deployment — fan out over internal/pool's errgroup-style
+// Group. Results are returned in input order. The first error cancels the
+// batch context: queries already in flight run to completion, queries not
+// yet started are skipped, and the error (annotated with its query index)
+// is returned.
+//
+// Two layers of parallelism compose here: the batch scheduler runs whole
+// queries concurrently (inter-query), and each query may additionally fan
+// out its DRC examinations per Options.Workers (intra-query). Because the
+// inter-query layer already saturates the CPU on large batches, a batch
+// treats Options.Workers == 0 as 1 (serial per query) rather than
+// GOMAXPROCS; set it explicitly to oversubscribe.
 
 // BatchRDS evaluates many RDS queries concurrently with the given number
-// of workers (<= 0 selects GOMAXPROCS).
+// of scheduler workers (<= 0 selects GOMAXPROCS).
 func (e *Engine) BatchRDS(queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
-	return e.batch(false, queries, opts, workers)
+	return e.BatchRDSContext(context.Background(), queries, opts, workers)
 }
 
 // BatchSDS evaluates many SDS queries concurrently.
 func (e *Engine) BatchSDS(queryDocs [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
-	return e.batch(true, queryDocs, opts, workers)
+	return e.BatchSDSContext(context.Background(), queryDocs, opts, workers)
 }
 
-func (e *Engine) batch(sds bool, queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+// BatchRDSContext is BatchRDS under a caller context: cancellation stops
+// scheduling new queries and the context's error is returned.
+func (e *Engine) BatchRDSContext(ctx context.Context, queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.batch(ctx, false, queries, opts, workers)
+}
+
+// BatchSDSContext is BatchSDS under a caller context.
+func (e *Engine) BatchSDSContext(ctx context.Context, queryDocs [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	return e.batch(ctx, true, queryDocs, opts, workers)
+}
+
+func (e *Engine) batch(ctx context.Context, sds bool, queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
+	if opts.Workers < 0 {
+		return nil, nil, ErrNegativeWorkers
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 1 // inter-query parallelism already fills the cores
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	results := make([][]Result, len(queries))
 	metrics := make([]*Metrics, len(queries))
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			failed := false
-			for i := range next {
-				if failed {
-					continue // keep draining so the dispatcher never blocks
-				}
-				var err error
-				if sds {
-					results[i], metrics[i], err = e.SDS(queries[i], opts)
-				} else {
-					results[i], metrics[i], err = e.RDS(queries[i], opts)
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					failed = true
-				}
-			}
-		}()
-	}
+	g, gctx := pool.GroupWithContext(ctx)
+	g.SetLimit(workers)
 	for i := range queries {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
+		if gctx.Err() != nil {
+			break // a sibling failed or the caller canceled: stop scheduling
 		}
-		next <- i
+		i := i
+		g.Go(func() error {
+			// Per-query context check: a query whose slot was acquired
+			// after cancellation is skipped (its results slot stays nil;
+			// the batch reports the cancellation cause, not the slot).
+			if gctx.Err() != nil {
+				return nil
+			}
+			var err error
+			if sds {
+				results[i], metrics[i], err = e.SDS(queries[i], opts)
+			} else {
+				results[i], metrics[i], err = e.RDS(queries[i], opts)
+			}
+			if err != nil {
+				return fmt.Errorf("batch query %d: %w", i, err)
+			}
+			return nil
+		})
 	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
+	if err := g.Wait(); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	return results, metrics, nil
 }

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -75,8 +76,21 @@ type Options struct {
 	// NoSkipWhenCovered disables optimization 3 (reuse the accumulated
 	// distance instead of calling DRC when all query nodes are covered).
 	NoSkipWhenCovered bool
+	// Workers bounds the worker goroutines used for intra-query parallel
+	// execution: exact-distance (DRC) examinations are speculatively fanned
+	// out to a pool of this size while the pruning and top-k decisions stay
+	// on the query's goroutine, so results are identical at every setting
+	// (see DESIGN.md, "Parallel execution"). 0 selects GOMAXPROCS; 1 runs
+	// fully serial; negative values are rejected with ErrNegativeWorkers.
+	// The UseBL ablation path always runs serial.
+	Workers int
 	// Progressive, when non-nil, receives results as soon as they are
 	// provably part of the top-k (optimization 4), before the run ends.
+	// Progressive is always invoked sequentially from the goroutine running
+	// the query — never from worker goroutines, regardless of Workers — so
+	// a per-query callback needs no synchronization. (A callback shared
+	// across concurrently running queries, e.g. one closure passed to a
+	// whole batch, must still synchronize its own state.)
 	Progressive func(Result)
 	// OnWave, when non-nil, receives a snapshot after every BFS wave —
 	// instrumentation for tracing, debugging and the golden tests that
@@ -102,13 +116,19 @@ type VisitedNode struct {
 	Origin int // index into the (deduplicated) query
 }
 
-// Normalize fills in defaults.
+// Normalize fills in defaults. Workers == 0 becomes GOMAXPROCS; a negative
+// Workers value is left in place and rejected by queries with
+// ErrNegativeWorkers (Normalize has no error path, and silently clamping
+// would mask caller bugs).
 func (o Options) Normalize() Options {
 	if o.K <= 0 {
 		o.K = 10
 	}
 	if o.QueueLimit == 0 {
 		o.QueueLimit = 50_000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	o.DedupVisits = !o.NoDedup
 	return o
@@ -130,6 +150,13 @@ type Metrics struct {
 	DRCCalls       int   // exact distance computations that ran DRC/BL
 	ForcedExams    int   // examination phases forced by the queue limit
 	ResultCount    int
+
+	// SpeculativeDRC counts the exact-distance computations scheduled on
+	// the worker pool (Workers > 1). It is >= the share of DRCCalls served
+	// from the speculation cache; the excess is wasted speculative work.
+	// All other counters are identical at every Workers setting — the
+	// parallel engine commits exactly the serial decision sequence.
+	SpeculativeDRC int
 }
 
 // ExaminedPrecision returns |top-k| / examined — the fraction of examined
@@ -176,6 +203,9 @@ func NewEngineDynamic(o *ontology.Ontology, inv index.Inverted, fwd index.Forwar
 // ErrEmptyQuery is returned for queries with no concepts.
 var ErrEmptyQuery = errors.New("core: query has no concepts")
 
+// ErrNegativeWorkers is returned when Options.Workers is negative.
+var ErrNegativeWorkers = errors.New("core: Options.Workers must be >= 0")
+
 // RDS returns the k documents most relevant to the query concepts
 // (Definition 1), ordered by ascending Ddq.
 func (e *Engine) RDS(q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
@@ -209,6 +239,15 @@ type docState struct {
 	sizeB    int32 // |d|
 	examined bool
 	pruned   bool
+	// Speculation cache (Workers > 1): the exact distance computed ahead of
+	// the commit decision by a pool worker. Written by exactly one worker
+	// per wave, read by the coordinator only after the wave barrier; a
+	// document's exact distance never changes, so a cached value stays
+	// valid across waves. specErr holds a deferred fetch/DRC error that is
+	// surfaced only if the candidate is actually committed.
+	specDist float64
+	specErr  error
+	specHas  bool
 }
 
 const unset = int32(-1)
@@ -229,6 +268,9 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 		m.IOTime = e.ioSnapshot() - ioStart
 	}()
 
+	if opts.Workers < 0 {
+		return nil, m, ErrNegativeWorkers
+	}
 	q := dedupConcepts(rawQuery)
 	if len(q) == 0 {
 		return nil, m, ErrEmptyQuery
@@ -411,6 +453,15 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 			// Optimization 3: BFS first-contact distances are exact, so the
 			// accumulated partial distance is the true distance.
 			dist = partialOf(st)
+		} else if st.specHas {
+			// A pool worker already computed this distance speculatively
+			// (its time is accounted under DistanceTime at the wave
+			// barrier); commit its result, errors included.
+			if st.specErr != nil {
+				return st.specErr
+			}
+			dist = st.specDist
+			m.DRCCalls++
 		} else {
 			concepts, err := e.fwd.Concepts(doc)
 			if err != nil {
@@ -437,12 +488,11 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 		return nil
 	}
 
-	type cand struct {
-		doc     corpus.DocID
-		st      *docState
-		lb      float64
-		partial float64
-	}
+	// Intra-query parallelism: a lazily created bounded worker pool for
+	// speculative distance prefetch. The UseBL ablation calculator is not
+	// safe for concurrent use, so the ablation path stays serial.
+	spec := newSpeculator(e, sds, prep, nq, opts, m)
+	defer spec.close()
 
 	// Each BFS depth level yields at most two waves (one if the queue limit
 	// pauses it for a forced examination); the guard is a safety net
@@ -527,6 +577,14 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 			return cands[i].doc < cands[j].doc
 		})
 		m.TraversalTime += time.Since(t1)
+
+		// Speculative parallel examination: prefetch exact distances for the
+		// candidate prefix the serial commit loop below could examine this
+		// wave (selected with the heap's k-th distance frozen — a provable
+		// superset of the serial choice; see DESIGN.md). The commit loop is
+		// byte-for-byte the serial decision sequence, so results, pruning and
+		// counters are identical at every Workers setting.
+		spec.prefetch(cands, hk, bound, forced)
 
 		for _, c := range cands {
 			kth := hk.kth()

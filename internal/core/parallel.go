@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/pool"
+)
+
+// Intra-query parallel execution (see DESIGN.md, "Parallel execution").
+//
+// kNDS spends the bulk of a query inside DRC examinations (Figures 7-9
+// attribute 60-95% of query time to distance calculation), and those are
+// independent per candidate — but the *decision* which candidate to examine
+// next depends on the evolving top-k heap, and with early termination the
+// paper's pruning is fragile under reordering. The engine therefore splits
+// examination into:
+//
+//  1. a speculative prefetch: before the commit loop of a wave runs, the
+//     prefix of candidates the serial loop COULD examine is computed with
+//     the heap's k-th distance frozen at its wave-start value. Because kth
+//     only ever decreases within a wave, the frozen selection is a superset
+//     of the serial selection: every skipped candidate (lb > frozen kth
+//     with a full heap) would have been pruned by the serial loop too. The
+//     distances of the selected candidates are computed concurrently on a
+//     bounded worker pool and cached on the candidate (a document's exact
+//     distance never changes, so a cached value also serves later waves);
+//
+//  2. the unchanged serial commit loop, which re-makes every prune /
+//     examine / stop decision with the evolving heap exactly as the
+//     Workers=1 engine does, consuming cached distances where present and
+//     computing inline where speculation skipped (or was disabled).
+//
+// The decision sequence — heap evolution, tie-breaks, pruned flags,
+// Progressive emission, every Metrics counter except SpeculativeDRC — is
+// therefore identical at every Workers setting, which is what
+// parallel_equiv_test.go asserts case by case. The only cost of the frozen
+// selection is wasted speculative work (SpeculativeDRC - cache hits).
+
+// cand is one unexamined candidate in a wave's examination order.
+type cand struct {
+	doc     corpus.DocID
+	st      *docState
+	lb      float64
+	partial float64
+}
+
+// speculator owns the per-query worker pool for speculative examinations.
+// It is inert (every method a no-op) when the query runs serial: Workers
+// <= 1, or the UseBL ablation path, whose pairwise calculator is not safe
+// for concurrent use.
+type speculator struct {
+	e    *Engine
+	sds  bool
+	prep *drc.Prepared
+	nq   int32
+	opts Options
+	m    *Metrics
+	pool *pool.Pool // lazily created on the first wave with >= 2 tasks
+}
+
+func newSpeculator(e *Engine, sds bool, prep *drc.Prepared, nq int32, opts Options, m *Metrics) *speculator {
+	if opts.Workers <= 1 || opts.UseBL || prep == nil {
+		return &speculator{}
+	}
+	return &speculator{e: e, sds: sds, prep: prep, nq: nq, opts: opts, m: m}
+}
+
+func (s *speculator) close() {
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+}
+
+// prefetch mirrors the commit loop's selection conditions with the heap
+// frozen at its wave-start state and fans the selected candidates'
+// distance computations out to the pool. cands must already be sorted in
+// commit order (lower bound, then doc ID).
+func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool) {
+	if s.e == nil {
+		return
+	}
+	kth := hk.kth()
+	full := hk.full()
+	infBound := math.IsInf(bound, 1)
+	var tasks []*cand
+	for i := range cands {
+		c := &cands[i]
+		if full && c.lb > kth {
+			// The serial loop prunes this candidate: its kth at decision
+			// time is <= the frozen kth, so the condition holds there too.
+			continue
+		}
+		if full && c.lb >= kth && !infBound {
+			break
+		}
+		eps := 0.0
+		if c.lb > 0 {
+			eps = 1 - c.partial/c.lb
+		}
+		if eps > s.opts.ErrorThreshold && !forced && !infBound {
+			break
+		}
+		st := c.st
+		if st.specHas {
+			continue // cached by an earlier wave's speculation
+		}
+		if st.nCoveredA == s.nq && (!s.sds || len(st.coveredB) == int(st.sizeB)) && !s.opts.NoSkipWhenCovered {
+			continue // optimization 3 commits the partial sum; no DRC needed
+		}
+		tasks = append(tasks, c)
+	}
+	if len(tasks) < 2 {
+		return // nothing to overlap; the commit loop computes inline
+	}
+	if s.pool == nil {
+		s.pool = pool.New(s.opts.Workers)
+	}
+	// Each task writes only its own candidate's spec fields and duration
+	// slot; Run's barrier publishes them to the coordinator (no atomics
+	// needed, and the -race equivalence suite holds this to account).
+	durs := make([]time.Duration, len(tasks))
+	fns := make([]func(), len(tasks))
+	for i, c := range tasks {
+		i, c := i, c
+		fns[i] = func() {
+			st := c.st
+			concepts, err := s.e.fwd.Concepts(c.doc)
+			if err != nil {
+				st.specErr = fmt.Errorf("core: forward(%d): %w", c.doc, err)
+				st.specHas = true
+				return
+			}
+			t0 := time.Now()
+			var dist float64
+			if s.sds {
+				dist, err = s.prep.DocDoc(concepts)
+			} else {
+				dist, err = s.prep.DocQuery(concepts)
+			}
+			durs[i] = time.Since(t0)
+			st.specDist, st.specErr, st.specHas = dist, err, true
+		}
+	}
+	s.pool.Run(fns)
+	for _, d := range durs {
+		s.m.DistanceTime += d
+	}
+	s.m.SpeculativeDRC += len(tasks)
+}
+
+// Parallel full scans: the baseline partitioned across workers. Unlike
+// kNDS, a full scan has no cross-document decisions, so this is a plain
+// deterministic map-reduce: each worker ranks a contiguous DocID range
+// into a private top-k, and the partial results merge by (distance, doc) —
+// the same total order the serial scan's strict-eviction heap induces, so
+// results are identical to FullScanRDS/FullScanSDS.
+
+// FullScanRDSParallel ranks every document by Ddq on a worker pool
+// (workers <= 0 selects GOMAXPROCS) and returns the top k.
+func (e *Engine) FullScanRDSParallel(q []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
+	return e.fullScanParallel(false, q, k, workers)
+}
+
+// FullScanSDSParallel ranks every document by Ddd on a worker pool.
+func (e *Engine) FullScanSDSParallel(queryDoc []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
+	return e.fullScanParallel(true, queryDoc, k, workers)
+}
+
+func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return e.fullScan(sds, rawQuery, k, false)
+	}
+	m := &Metrics{}
+	start := time.Now()
+	ioStart := e.ioSnapshot()
+	defer func() {
+		m.TotalTime = time.Since(start)
+		m.IOTime = e.ioSnapshot() - ioStart
+	}()
+
+	q := dedupConcepts(rawQuery)
+	if len(q) == 0 {
+		return nil, m, ErrEmptyQuery
+	}
+	if k <= 0 {
+		k = 10
+	}
+	t0 := time.Now()
+	prep := drc.PrepareCached(e.o, q, 0, e.addrCache)
+	m.DistanceTime += time.Since(t0)
+
+	n := e.numDocs()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type chunkResult struct {
+		items    []Result
+		examined int
+		drcCalls int
+		distTime time.Duration
+	}
+	chunks := make([]chunkResult, workers)
+	g, _ := pool.GroupWithContext(context.Background())
+	for w := 0; w < workers; w++ {
+		w := w
+		lo := corpus.DocID(w * n / workers)
+		hi := corpus.DocID((w + 1) * n / workers)
+		g.Go(func() error {
+			hk := newTopK(k)
+			cr := &chunks[w]
+			for d := lo; d < hi; d++ {
+				concepts, err := e.fwd.Concepts(d)
+				if err != nil {
+					return err
+				}
+				if len(concepts) == 0 {
+					continue
+				}
+				t1 := time.Now()
+				var dist float64
+				if sds {
+					dist, err = prep.DocDoc(concepts)
+				} else {
+					dist, err = prep.DocQuery(concepts)
+				}
+				cr.distTime += time.Since(t1)
+				if err != nil {
+					return err
+				}
+				cr.examined++
+				cr.drcCalls++
+				hk.offer(Result{Doc: d, Distance: dist})
+			}
+			cr.items = hk.sorted()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, m, err
+	}
+	var all []Result
+	for i := range chunks {
+		all = append(all, chunks[i].items...)
+		m.DocsExamined += chunks[i].examined
+		m.DRCCalls += chunks[i].drcCalls
+		m.DistanceTime += chunks[i].distTime
+	}
+	sort.Slice(all, func(i, j int) bool { return worse(all[j], all[i]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	m.ResultCount = len(all)
+	return all, m, nil
+}

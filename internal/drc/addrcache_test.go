@@ -47,6 +47,37 @@ func TestAddressCacheConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestAddressCacheConcurrentEviction hammers a tiny-capped cache from many
+// goroutines so inserts, hits and evictions interleave on every shard; run
+// under -race (CI does) this is the concurrency-soundness check for the
+// sharded cache the parallel engine's workers share. Results must stay
+// correct whether served from cache or re-enumerated after an eviction.
+func TestAddressCacheConcurrentEviction(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	cache := NewAddressCache(pf.O, 0, 3) // cap < concept count forces constant eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				id := ontology.ConceptID(r.Intn(pf.O.NumConcepts()))
+				got := cache.Addresses(id)
+				want := pf.O.PathAddresses(id)
+				if len(got) != len(want) {
+					t.Errorf("concept %d: %d addresses, want %d", id, len(got), len(want))
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	if cache.Len() > 3 {
+		t.Errorf("cache grew past cap under concurrency: %d", cache.Len())
+	}
+}
+
 // TestCachedPreparedMatchesUncached is the safety net for the cache wiring:
 // identical results with and without the cache.
 func TestCachedPreparedMatchesUncached(t *testing.T) {

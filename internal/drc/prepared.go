@@ -15,6 +15,12 @@ import (
 // addresses, so this is a significant constant-factor saving (an
 // engineering optimization on top of the paper's algorithm; it does not
 // change any result).
+//
+// A Prepared is immutable after construction and safe for concurrent use:
+// Build, DocQuery and DocDoc only read the sorted query entries and
+// allocate fresh per-call state, and the optional AddressCache is itself
+// concurrency-safe. The parallel engine relies on this to probe one
+// Prepared from every speculation worker.
 type Prepared struct {
 	o       *ontology.Ontology
 	query   []ontology.ConceptID

@@ -1,0 +1,76 @@
+// Package pool provides the shared concurrency primitives behind the
+// parallel kNDS execution engine:
+//
+//   - Pool, a bounded long-lived worker pool the engine uses to fan out
+//     speculative DRC examinations within one query (internal/core's
+//     intra-query parallelism);
+//   - Group, an errgroup-style cancellation group scheduling whole queries
+//     (internal/core's inter-query batch parallelism) with first-error
+//     cancellation of the not-yet-started remainder;
+//   - ShardedMap, a lock-sharded concurrent map backing caches shared by
+//     many workers (internal/drc's Dewey address cache).
+//
+// The primitives are deliberately dependency-free (stdlib only) so every
+// internal package may use them without import cycles.
+package pool
+
+import "sync"
+
+// Pool is a fixed set of worker goroutines consuming submitted tasks.
+// A Pool is cheap enough to create per query (goroutines are lazily
+// parked on an unbuffered channel) and must be Closed to release them.
+type Pool struct {
+	tasks   chan func()
+	workers sync.WaitGroup
+	size    int
+}
+
+// New starts a pool of n workers. n < 1 is treated as 1.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{tasks: make(chan func()), size: n}
+	p.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.workers.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Run dispatches the tasks to the workers and blocks until every one has
+// returned. Concurrent Run calls share the workers. Tasks must not call
+// Run or Submit on their own pool (all workers may be busy executing
+// tasks, deadlocking the nested dispatch).
+func (p *Pool) Run(tasks []func()) {
+	var done sync.WaitGroup
+	done.Add(len(tasks))
+	for _, task := range tasks {
+		task := task
+		p.tasks <- func() {
+			defer done.Done()
+			task()
+		}
+	}
+	done.Wait()
+}
+
+// Submit enqueues one task without waiting for it; pair with whatever
+// completion signal the caller owns. Blocks while every worker is busy
+// (the pool is bounded by construction, with no unbounded queue).
+func (p *Pool) Submit(task func()) { p.tasks <- task }
+
+// Close stops the workers after in-flight tasks finish. The pool must not
+// be used afterwards.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.workers.Wait()
+}

@@ -73,10 +73,11 @@ type HybridResult = ir.Result
 
 // HybridRDS blends concept-based relevance with BM25 text relevance:
 // alpha = 1 is pure semantic ranking, alpha = 0 pure BM25. The semantic
-// side scans the collection (exact distances for every document), so this
-// is an offline/analytics path rather than the kNDS fast path.
+// side scans the collection (exact distances for every document,
+// partitioned across GOMAXPROCS workers), so this is an offline/analytics
+// path rather than the kNDS fast path.
 func (e *Engine) HybridRDS(query []ConceptID, textQuery string, tix *TextIndex, alpha float64, k int) ([]HybridResult, error) {
-	scan, _, err := e.inner.FullScanRDS(query, e.numDocs(), false)
+	scan, _, err := e.inner.FullScanRDSParallel(query, e.numDocs(), 0)
 	if err != nil {
 		return nil, err
 	}
