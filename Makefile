@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench experiments
+.PHONY: build test test-race vet bench bench-shard experiments
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,18 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages: the parallel kNDS engine
-# and its serial-equivalence suite, the worker pool primitives, and the
-# shared address cache.
+# and its serial-equivalence suite, the sharded fan-out engine, the worker
+# pool primitives, and the shared address cache.
 test-race:
-	$(GO) test -race -count=2 ./internal/core/... ./internal/drc/... ./internal/pool/...
+	$(GO) test -race -count=2 ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Sharded fan-out latency sweep (shard counts x placements), with every
+# answer verified against the single engine.
+bench-shard:
+	$(GO) run ./cmd/crbench -scale small -exp shard
 
 # Regenerate the EXPERIMENTS.md tables at laptop scale.
 experiments:

@@ -33,6 +33,8 @@ func main() {
 		eps       = flag.Float64("eps", 0.5, "kNDS error threshold")
 		workers   = flag.Int("workers", 0, "intra-query DRC workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		baseline  = flag.Bool("baseline", false, "also run the full-scan baseline and compare")
+		shards    = flag.Int("shards", 1, "partition the collection across N parallel engines (results identical)")
+		placement = flag.String("placement", "round-robin", "shard placement policy: round-robin or size-balanced")
 	)
 	flag.Parse()
 
@@ -86,9 +88,35 @@ func main() {
 	fmt.Println()
 
 	opts := conceptrank.Options{K: *k, ErrorThreshold: *eps, Workers: *workers}
+	sds := strings.ToLower(*queryType) == "sds"
 	var results []conceptrank.Result
 	var m *conceptrank.Metrics
-	if strings.ToLower(*queryType) == "sds" {
+	if *shards > 1 {
+		pl, perr := conceptrank.ParseShardPlacement(*placement)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		seng, serr := conceptrank.NewShardedEngine(o, coll, conceptrank.ShardConfig{Shards: *shards, Placement: pl})
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		var sm *conceptrank.ShardedMetrics
+		if sds {
+			results, sm, err = seng.SDS(concepts, opts)
+		} else {
+			results, sm, err = seng.RDS(concepts, opts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = &sm.Merged
+		fmt.Printf("sharded: %d shards (%s), %d cancelled early by the cross-shard bound\n",
+			seng.NumShards(), pl, sm.CancelledShards)
+		for s, pm := range sm.PerShard {
+			fmt.Printf("  shard %d: %v total, examined %d of %d discovered\n",
+				s, pm.TotalTime.Round(1000), pm.DocsExamined, pm.DocsDiscovered)
+		}
+	} else if sds {
 		results, m, err = eng.SDS(concepts, opts)
 	} else {
 		results, m, err = eng.RDS(concepts, opts)
@@ -110,10 +138,10 @@ func main() {
 	if *baseline {
 		var scan []conceptrank.Result
 		var bm *conceptrank.Metrics
-		if strings.ToLower(*queryType) == "sds" {
-			scan, bm, err = eng.FullScanSDS(concepts, *k)
+		if sds {
+			scan, bm, err = eng.FullScanSDS(concepts, conceptrank.WithK(*k))
 		} else {
-			scan, bm, err = eng.FullScanRDS(concepts, *k)
+			scan, bm, err = eng.FullScanRDS(concepts, conceptrank.WithK(*k))
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -76,6 +76,9 @@ type (
 	// intra-query Workers — see the Parallel execution section of
 	// DESIGN.md; results are identical at every Workers setting).
 	Options = core.Options
+	// Option is a functional query option (WithK, WithEpsilon, WithWorkers,
+	// WithQueueLimit) applied over Options.
+	Option = core.Option
 	// OntologyConfig parameterizes the synthetic ontology generator.
 	OntologyConfig = ontogen.Config
 	// CorpusProfile parameterizes the synthetic EMR corpus generator.
@@ -86,6 +89,26 @@ type (
 	// Mention is one recognized concept occurrence in text.
 	Mention = nlp.Mention
 )
+
+// Functional options, re-exported from internal/core. They layer over the
+// Options struct: NewOptions(WithK(5)) is Options{K: 5}, and any Options
+// value can be refined with opts.With(WithWorkers(4)).
+
+// WithK sets the number of results (Options.K).
+func WithK(k int) Option { return core.WithK(k) }
+
+// WithEpsilon sets the examination error threshold ε_θ
+// (Options.ErrorThreshold).
+func WithEpsilon(eps float64) Option { return core.WithEpsilon(eps) }
+
+// WithWorkers sets the intra-query worker bound (Options.Workers).
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithQueueLimit sets the BFS queue bound (Options.QueueLimit).
+func WithQueueLimit(n int) Option { return core.WithQueueLimit(n) }
+
+// NewOptions builds an Options value by applying opts over the zero value.
+func NewOptions(opts ...Option) Options { return core.NewOptions(opts...) }
 
 // NewOntologyBuilder starts a hand-built ontology whose root concept
 // carries rootName.
@@ -344,6 +367,20 @@ func (e *Engine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Metrics, er
 	return e.inner.SDS(queryDoc, opts)
 }
 
+// RDSContext is RDS under a caller context. Cancellation is observed at
+// wave boundaries inside kNDS (once per BFS depth level); a cancelled
+// query returns ctx.Err() with nil results and the metrics accumulated so
+// far. RDS is exactly RDSContext with context.Background().
+func (e *Engine) RDSContext(ctx context.Context, query []ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.inner.RDSContext(ctx, query, opts)
+}
+
+// SDSContext is SDS under a caller context; see RDSContext for the
+// cancellation contract.
+func (e *Engine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.inner.SDSContext(ctx, queryDoc, opts)
+}
+
 // BatchRDS evaluates many RDS queries concurrently over a worker pool
 // (workers <= 0 selects GOMAXPROCS). Results are in input order; the
 // first error cancels the queries not yet started. Within a batch each
@@ -371,25 +408,54 @@ func (e *Engine) BatchSDSContext(ctx context.Context, queryDocs [][]ConceptID, o
 }
 
 // FullScanRDS ranks by scanning the whole collection (the evaluation
-// baseline; exact but slow).
-func (e *Engine) FullScanRDS(query []ConceptID, k int) ([]Result, *Metrics, error) {
-	return e.inner.FullScanRDS(query, k, false)
+// baseline; exact but slow). WithK selects the result count (default 10)
+// and WithWorkers > 1 partitions the scan across a worker pool with
+// results identical to the serial scan; other options are ignored — the
+// baseline has no traversal to tune.
+//
+// This replaces the former FullScanRDS(query, k) / FullScanRDSParallel
+// (query, k, workers) pair: FullScanRDS(q, 5) becomes
+// FullScanRDS(q, WithK(5)), and FullScanRDSParallel(q, 5, 8) becomes
+// FullScanRDS(q, WithK(5), WithWorkers(8)).
+func (e *Engine) FullScanRDS(query []ConceptID, opts ...Option) ([]Result, *Metrics, error) {
+	return e.fullScan(false, query, opts)
 }
 
-// FullScanSDS is the full-scan baseline for similarity queries.
-func (e *Engine) FullScanSDS(queryDoc []ConceptID, k int) ([]Result, *Metrics, error) {
-	return e.inner.FullScanSDS(queryDoc, k, false)
+// FullScanSDS is the full-scan baseline for similarity queries, with the
+// same options contract as FullScanRDS.
+func (e *Engine) FullScanSDS(queryDoc []ConceptID, opts ...Option) ([]Result, *Metrics, error) {
+	return e.fullScan(true, queryDoc, opts)
+}
+
+func (e *Engine) fullScan(sds bool, query []ConceptID, opts []Option) ([]Result, *Metrics, error) {
+	o := core.NewOptions(opts...)
+	if o.Workers < 0 {
+		return nil, &Metrics{}, core.ErrNegativeWorkers
+	}
+	if o.Workers > 1 {
+		if sds {
+			return e.inner.FullScanSDSParallel(query, o.K, o.Workers)
+		}
+		return e.inner.FullScanRDSParallel(query, o.K, o.Workers)
+	}
+	if sds {
+		return e.inner.FullScanSDS(query, o.K, false)
+	}
+	return e.inner.FullScanRDS(query, o.K, false)
 }
 
 // FullScanRDSParallel is FullScanRDS with the scan partitioned across
-// workers (<= 0 selects GOMAXPROCS); results are identical to the serial
-// scan.
+// workers (<= 0 selects GOMAXPROCS).
+//
+// Deprecated: use FullScanRDS with WithK and WithWorkers.
 func (e *Engine) FullScanRDSParallel(query []ConceptID, k, workers int) ([]Result, *Metrics, error) {
 	return e.inner.FullScanRDSParallel(query, k, workers)
 }
 
 // FullScanSDSParallel is the partitioned full-scan baseline for
 // similarity queries.
+//
+// Deprecated: use FullScanSDS with WithK and WithWorkers.
 func (e *Engine) FullScanSDSParallel(queryDoc []ConceptID, k, workers int) ([]Result, *Metrics, error) {
 	return e.inner.FullScanSDSParallel(queryDoc, k, workers)
 }
@@ -449,19 +515,21 @@ func LoadCollection(path string) (*Collection, error) {
 }
 
 // FindConcept looks a concept up by its primary term or any synonym
-// (case-sensitive). It scans the ontology; build your own map for bulk
-// lookups.
+// (case-sensitive). The first call builds a term→concept map on the
+// ontology (guarded by sync.Once, so concurrent callers are safe); every
+// lookup afterwards is O(1). Ambiguous terms resolve exactly as the former
+// linear scan did: lowest ConceptID wins, primary name before synonyms.
 func FindConcept(o *Ontology, term string) (ConceptID, bool) {
-	for c := 0; c < o.NumConcepts(); c++ {
-		id := ConceptID(c)
-		if o.Name(id) == term {
-			return id, true
-		}
-		for _, s := range o.Synonyms(id) {
-			if s == term {
-				return id, true
-			}
-		}
+	return o.LookupTerm(term)
+}
+
+// FindConcepts is the bulk form of FindConcept: ids[i] holds the concept
+// for terms[i] and is only meaningful when found[i] is true.
+func FindConcepts(o *Ontology, terms []string) (ids []ConceptID, found []bool) {
+	ids = make([]ConceptID, len(terms))
+	found = make([]bool, len(terms))
+	for i, t := range terms {
+		ids[i], found[i] = o.LookupTerm(t)
 	}
-	return 0, false
+	return ids, found
 }

@@ -49,7 +49,7 @@ func TestEndToEndRDSAndSDS(t *testing.T) {
 	}
 
 	// kNDS must agree with the exhaustive baseline.
-	scan, _, err := eng.FullScanRDS(q, 5)
+	scan, _, err := eng.FullScanRDS(q, WithK(5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,7 +56,7 @@ func main() {
 	fmt.Printf("\nkNDS examined %d of %d records (%d discovered); %d DRC probes\n",
 		m.DocsExamined, coll.NumDocs(), m.DocsDiscovered, m.DRCCalls)
 
-	scan, bm, err := eng.FullScanRDS(criteria, 10)
+	scan, bm, err := eng.FullScanRDS(criteria, conceptrank.WithK(10))
 	if err != nil {
 		log.Fatal(err)
 	}

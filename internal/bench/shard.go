@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/shard"
+)
+
+// Sharded execution experiment (beyond the paper): the collection is
+// partitioned across N per-shard kNDS engines and each query fans out to
+// all shards, merging the per-shard top-k heaps into a global top-k. The
+// sharded engine is bitwise identical to the single engine on the union
+// collection (internal/shard equivalence suite), so the table reports
+// pure latency plus how often the cross-shard bound cancelled a shard
+// before it terminated on its own. Every row re-checks equality against
+// the single-engine answer; a mismatch aborts the experiment.
+
+// ShardGrid is the shard-count sweep of the shard experiment.
+var ShardGrid = []int{1, 2, 4, 8}
+
+// ShardSweep measures per-query latency against shard count for both
+// placements, both query types, and both collections.
+func ShardSweep(env *Env) (*Table, error) {
+	t := &Table{
+		ID: "shard",
+		Title: fmt.Sprintf("Sharded fan-out latency vs shard count (GOMAXPROCS=%d): serial per shard, top-k merge",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"dataset", "type", "placement", "shards", "ms/q", "speedup", "cancelled/q"},
+	}
+	for _, ds := range env.Datasets() {
+		for _, sds := range []bool{false, true} {
+			kind, queries := workload(env, ds, sds)
+			opts := core.Options{K: DefaultK, ErrorThreshold: ds.DefaultEps}
+			baseline, err := timeSingle(ds.Engine, sds, queries, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, pl := range []shard.Placement{shard.RoundRobin, shard.SizeBalanced} {
+				for _, n := range ShardGrid {
+					se, err := shard.New(env.O, ds.Coll, shard.Config{Shards: n, Placement: pl})
+					if err != nil {
+						return nil, err
+					}
+					elapsed, cancelled, err := timeSharded(ds.Engine, se, sds, queries, opts)
+					if err != nil {
+						return nil, err
+					}
+					perQ := elapsed / time.Duration(len(queries))
+					t.Add(ds.Name, kind, pl.String(), itoa(n), ms(perQ),
+						f2(float64(baseline)/float64(perQ)),
+						f2(float64(cancelled)/float64(len(queries))))
+				}
+			}
+		}
+	}
+	t.Note("every sharded answer is verified equal to the single engine's; speedup ceiling is GOMAXPROCS=%d on this host", runtime.GOMAXPROCS(0))
+	return t, nil
+}
+
+// timeSingle returns the single-engine per-query latency for the workload.
+func timeSingle(eng *core.Engine, sds bool, queries [][]ontology.ConceptID, opts core.Options) (time.Duration, error) {
+	start := time.Now()
+	for _, q := range queries {
+		var err error
+		if sds {
+			_, _, err = eng.SDS(q, opts)
+		} else {
+			_, _, err = eng.RDS(q, opts)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(queries)), nil
+}
+
+// timeSharded runs the workload on the sharded engine, verifying each
+// answer against the single engine, and returns total wall clock plus the
+// number of shard cancellations by the cross-shard bound.
+func timeSharded(single *core.Engine, se *shard.Engine, sds bool, queries [][]ontology.ConceptID, opts core.Options) (time.Duration, int, error) {
+	cancelled := 0
+	var total time.Duration
+	for _, q := range queries {
+		var got []core.Result
+		var sm *shard.Metrics
+		var err error
+		start := time.Now()
+		if sds {
+			got, sm, err = se.SDS(q, opts)
+		} else {
+			got, sm, err = se.RDS(q, opts)
+		}
+		total += time.Since(start)
+		if err != nil {
+			return 0, 0, err
+		}
+		cancelled += sm.CancelledShards
+		var want []core.Result
+		if sds {
+			want, _, err = single.SDS(q, opts)
+		} else {
+			want, _, err = single.RDS(q, opts)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(got) != len(want) {
+			return 0, 0, fmt.Errorf("bench: sharded returned %d results, single %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return 0, 0, fmt.Errorf("bench: sharded mismatch at rank %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+	return total, cancelled, nil
+}

@@ -14,9 +14,10 @@ import (
 // experiment harness, bulk cohort screens, the paper's suggested
 // MapReduce-style deployment — fan out over internal/pool's errgroup-style
 // Group. Results are returned in input order. The first error cancels the
-// batch context: queries already in flight run to completion, queries not
-// yet started are skipped, and the error (annotated with its query index)
-// is returned.
+// batch context: queries already in flight abort at their next wave
+// boundary (each query runs under the batch context via RDSContext /
+// SDSContext), queries not yet started are skipped, and the first error
+// (annotated with its query index) is returned.
 //
 // Two layers of parallelism compose here: the batch scheduler runs whole
 // queries concurrently (inter-query), and each query may additionally fan
@@ -82,9 +83,9 @@ func (e *Engine) batch(ctx context.Context, sds bool, queries [][]ontology.Conce
 			}
 			var err error
 			if sds {
-				results[i], metrics[i], err = e.SDS(queries[i], opts)
+				results[i], metrics[i], err = e.SDSContext(gctx, queries[i], opts)
 			} else {
-				results[i], metrics[i], err = e.RDS(queries[i], opts)
+				results[i], metrics[i], err = e.RDSContext(gctx, queries[i], opts)
 			}
 			if err != nil {
 				return fmt.Errorf("batch query %d: %w", i, err)

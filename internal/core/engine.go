@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -97,6 +98,13 @@ type Options struct {
 	// replay the paper's Example 3/4 iterations. The snapshot's slices are
 	// only valid during the callback.
 	OnWave func(WaveInfo)
+	// OnBound, when non-nil, receives the query's termination floor d⁻
+	// after every wave: the smallest exact distance any document not yet in
+	// the top-k heap could still attain. It is monotonically non-decreasing
+	// across waves. The sharded engine uses it to propagate per-shard
+	// progress to the cross-shard early-termination check. Like Progressive
+	// it is invoked sequentially from the goroutine running the query.
+	OnBound func(dMinus float64)
 }
 
 // WaveInfo is the per-wave traversal snapshot delivered to Options.OnWave.
@@ -209,13 +217,26 @@ var ErrNegativeWorkers = errors.New("core: Options.Workers must be >= 0")
 // RDS returns the k documents most relevant to the query concepts
 // (Definition 1), ordered by ascending Ddq.
 func (e *Engine) RDS(q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.search(false, q, opts.Normalize())
+	return e.RDSContext(context.Background(), q, opts)
 }
 
 // SDS returns the k documents most similar to the query document's concept
 // set (Definition 2), ordered by ascending Ddd.
 func (e *Engine) SDS(queryDoc []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.search(true, queryDoc, opts.Normalize())
+	return e.SDSContext(context.Background(), queryDoc, opts)
+}
+
+// RDSContext is RDS under a caller context. Cancellation is observed at
+// wave boundaries (once per BFS depth level); a cancelled query returns
+// ctx.Err() with nil results and the metrics accumulated so far.
+func (e *Engine) RDSContext(ctx context.Context, q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.search(ctx, false, q, opts.Normalize())
+}
+
+// SDSContext is SDS under a caller context; see RDSContext for the
+// cancellation contract.
+func (e *Engine) SDSContext(ctx context.Context, queryDoc []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.search(ctx, true, queryDoc, opts.Normalize())
 }
 
 // bfsState is one queued traversal step: node reached from origin q[origin]
@@ -259,7 +280,7 @@ func (e *Engine) ioSnapshot() time.Duration {
 	return e.io.Time()
 }
 
-func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
 	m := &Metrics{}
 	start := time.Now()
 	ioStart := e.ioSnapshot()
@@ -504,6 +525,12 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 		if wave > maxWaves {
 			return nil, m, fmt.Errorf("core: kNDS failed to terminate after %d waves", wave)
 		}
+		// Cancellation is checked once per wave: waves are short relative to
+		// query latency, and a wave boundary is the only point where no
+		// speculative work is in flight.
+		if err := ctx.Err(); err != nil {
+			return nil, m, err
+		}
 		forced := head >= len(queue)
 
 		// --- Traversal: expand one BFS depth level. If the pending queue
@@ -589,14 +616,18 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 		for _, c := range cands {
 			kth := hk.kth()
 			if hk.full() && c.lb > kth {
-				// Optimization 1: this candidate and everything after it
-				// (sorted by lb) can never enter the top-k.
+				// Optimization 1: this candidate can never enter the top-k —
+				// its distance is at least lb, strictly above the k-th.
 				c.st.pruned = true
 				continue
 			}
-			if hk.full() && c.lb >= kth && !math.IsInf(bound, 1) {
-				// Cannot improve the heap; let traversal refine bounds.
-				break
+			if hk.full() && c.lb == kth && c.doc > hk.worst().Doc {
+				// Even at dist == lb == kth this candidate loses the
+				// canonical (distance, doc) tie-break against the current
+				// k-th result, and the heap only ever improves — prune it so
+				// d⁻ can rise strictly above kth and terminate the query.
+				c.st.pruned = true
+				continue
 			}
 			eps := 0.0
 			if c.lb > 0 {
@@ -623,13 +654,22 @@ func (e *Engine) search(sds bool, rawQuery []ontology.ConceptID, opts Options) (
 		}
 		if opts.Progressive != nil {
 			for _, r := range hk.items {
-				if !emitted[r.Doc] && r.Distance <= dMinus {
+				// Strictly below d⁻: any future offer has distance >= d⁻, so
+				// under the canonical (distance, doc) eviction order an
+				// emitted result can never be displaced.
+				if !emitted[r.Doc] && r.Distance < dMinus {
 					emitted[r.Doc] = true
 					opts.Progressive(r)
 				}
 			}
 		}
-		if hk.full() && dMinus >= hk.kth() {
+		if opts.OnBound != nil {
+			opts.OnBound(dMinus)
+		}
+		// Strict comparison: at dMinus == kth an outstanding candidate (or
+		// an undiscovered document) could still reach exactly the k-th
+		// distance with a smaller doc ID and win the canonical tie-break.
+		if hk.full() && dMinus > hk.kth() {
 			break
 		}
 		if head >= len(queue) {
@@ -664,10 +704,14 @@ func dedupConcepts(in []ontology.ConceptID) []ontology.ConceptID {
 	return out
 }
 
-// topK is a bounded max-heap keeping the k smallest results. Ties on
-// distance are broken toward smaller doc IDs for determinism; eviction uses
-// strictly-smaller comparison so progressively emitted results are never
-// displaced (see Section 5.3, optimization 4).
+// topK is a bounded max-heap keeping the k canonically smallest results,
+// where the canonical total order is (distance, then doc ID). Because the
+// order is total, the final heap content is a pure function of the offered
+// set — independent of offer order — which is what lets the sharded engine
+// merge per-shard heaps into exactly the single-engine answer (see
+// DESIGN.md, "Sharded execution"). Progressive emission stays safe because
+// a result is only emitted once its distance is strictly below every
+// outstanding lower bound.
 type topK struct {
 	k     int
 	items []Result
@@ -685,6 +729,10 @@ func (h *topK) kth() float64 {
 	return h.items[0].Distance
 }
 
+// worst returns the canonically largest retained result — the current k-th.
+// Only meaningful while full() is true.
+func (h *topK) worst() Result { return h.items[0] }
+
 func worse(a, b Result) bool {
 	if a.Distance != b.Distance {
 		return a.Distance > b.Distance
@@ -698,13 +746,11 @@ func (h *topK) offer(r Result) {
 		h.up(len(h.items) - 1)
 		return
 	}
-	// Eviction is strict on distance: a tie never displaces an incumbent.
-	// This is what makes progressive emission (optimization 4) safe — an
-	// emitted result has distance <= every outstanding lower bound, so no
-	// later candidate can beat it strictly, and ties leave it in place.
-	// Among tied candidates the examination order (sorted by lower bound,
-	// then doc ID) keeps results deterministic.
-	if h.k == 0 || h.items[0].Distance <= r.Distance {
+	// Canonical eviction: r displaces the current k-th result exactly when
+	// r precedes it in the (distance, doc ID) total order. Distance ties
+	// therefore resolve toward the smaller doc ID no matter in which order
+	// candidates were examined or which shard offered them.
+	if h.k == 0 || !worse(h.items[0], r) {
 		return
 	}
 	h.items[0] = r

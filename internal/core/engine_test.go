@@ -465,13 +465,19 @@ func TestTopKHeap(t *testing.T) {
 			t.Fatalf("sorted = %v, want distances %v", got, want)
 		}
 	}
-	// Ties must not evict (strict-distance rule): the incumbent stays, so
-	// progressively emitted results can never be displaced.
+	// Canonical (distance, doc ID) order: a distance tie resolves toward
+	// the smaller doc ID regardless of offer order, so the heap's content
+	// is a pure function of the offered set — the property the sharded
+	// merge relies on.
 	h2 := newTopK(1)
 	h2.offer(Result{Doc: 7, Distance: 2})
 	h2.offer(Result{Doc: 3, Distance: 2})
-	if h2.items[0].Doc != 7 {
-		t.Fatalf("tie must not evict incumbent: %v", h2.items)
+	if h2.items[0].Doc != 3 {
+		t.Fatalf("tie must resolve to the smaller doc ID: %v", h2.items)
+	}
+	h2.offer(Result{Doc: 5, Distance: 2})
+	if h2.items[0].Doc != 3 {
+		t.Fatalf("tie-losing offer must not evict: %v", h2.items)
 	}
 	h2.offer(Result{Doc: 9, Distance: 1})
 	if h2.items[0].Doc != 9 {

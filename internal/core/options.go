@@ -1,0 +1,39 @@
+package core
+
+// Functional options: a composable layer over the Options struct for the
+// public facade's collapsed entry points (FullScanRDS/FullScanSDS and the
+// constructors that grew out of the FullScan{RDS,SDS}{,Parallel} quartet).
+// Options remains the exhaustive configuration surface; functional options
+// cover the knobs callers actually tune per call.
+
+// Option mutates an Options value; apply a list with NewOptions or
+// Options.With.
+type Option func(*Options)
+
+// WithK sets the number of results (Options.K).
+func WithK(k int) Option { return func(o *Options) { o.K = k } }
+
+// WithEpsilon sets the examination error threshold ε_θ
+// (Options.ErrorThreshold).
+func WithEpsilon(eps float64) Option { return func(o *Options) { o.ErrorThreshold = eps } }
+
+// WithWorkers sets the intra-query worker bound (Options.Workers).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithQueueLimit sets the BFS queue bound (Options.QueueLimit).
+func WithQueueLimit(n int) Option { return func(o *Options) { o.QueueLimit = n } }
+
+// NewOptions builds an Options value by applying opts over the zero value.
+// The result is not normalized; queries normalize on entry as usual.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	return o.With(opts...)
+}
+
+// With returns a copy of o with opts applied.
+func (o Options) With(opts ...Option) Options {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

@@ -90,6 +90,10 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 	}
 	kth := hk.kth()
 	full := hk.full()
+	var worstDoc corpus.DocID
+	if full && hk.k > 0 {
+		worstDoc = hk.worst().Doc
+	}
 	infBound := math.IsInf(bound, 1)
 	var tasks []*cand
 	for i := range cands {
@@ -99,8 +103,12 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 			// time is <= the frozen kth, so the condition holds there too.
 			continue
 		}
-		if full && c.lb >= kth && !infBound {
-			break
+		if full && c.lb == kth && c.doc > worstDoc {
+			// The serial loop prunes this tie-loser too: the heap's k-th
+			// entry only improves canonically within a wave, so if it loses
+			// the (distance, doc) tie-break against the frozen k-th result
+			// it also loses at decision time.
+			continue
 		}
 		eps := 0.0
 		if c.lb > 0 {

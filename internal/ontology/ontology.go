@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"conceptrank/internal/dewey"
 )
@@ -47,6 +48,13 @@ type Ontology struct {
 
 	depth []int32 // minimum edge distance from the root
 	topo  []ConceptID
+
+	// termOnce guards the lazily built term → concept index behind
+	// LookupTerm; the Ontology stays effectively immutable (the index is
+	// derived purely from names and synonyms) and concurrent first lookups
+	// are safe.
+	termOnce sync.Once
+	termIdx  map[string]ConceptID
 }
 
 // Errors reported by Builder.Finalize and ReadFrom.
@@ -68,6 +76,33 @@ func (o *Ontology) Name(c ConceptID) string { return o.names[c] }
 // Synonyms returns the additional terms of c (possibly empty). The returned
 // slice is owned by the ontology and must not be modified.
 func (o *Ontology) Synonyms(c ConceptID) []string { return o.synonyms[c] }
+
+// LookupTerm resolves a primary term or synonym (case-sensitive) to its
+// ConceptID. The underlying index is built once, on first use; when a term
+// names several concepts the lowest ConceptID wins, with a concept's
+// primary name taking precedence over its own synonyms — the same answer a
+// linear scan in concept order would give. Safe for concurrent use.
+func (o *Ontology) LookupTerm(term string) (ConceptID, bool) {
+	o.termOnce.Do(o.buildTermIndex)
+	id, ok := o.termIdx[term]
+	return id, ok
+}
+
+func (o *Ontology) buildTermIndex() {
+	idx := make(map[string]ConceptID, len(o.names)*2)
+	for c := range o.names {
+		id := ConceptID(c)
+		if _, taken := idx[o.names[c]]; !taken {
+			idx[o.names[c]] = id
+		}
+		for _, s := range o.synonyms[c] {
+			if _, taken := idx[s]; !taken {
+				idx[s] = id
+			}
+		}
+	}
+	o.termIdx = idx
+}
 
 // Children returns c's children in Dewey order. The slice is owned by the
 // ontology and must not be modified.

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/store"
+)
+
+// Shard-aware disk layout: SaveIndexes writes, per shard, one inverted and
+// one forward postings file plus a docmap file (the strictly increasing
+// local→global DocID map, stored as a single block in the standard store
+// format), all described by a JSON manifest:
+//
+//	shards.json
+//	shard-0000.inverted.crs   shard-0000.forward.crs   shard-0000.docmap.crs
+//	shard-0001.inverted.crs   ...
+//
+// OpenDisk reads the manifest back into an Engine whose shards are backed
+// by the disk stores, with per-query I/O time attributed per shard.
+
+// ManifestFile is the name of the sharded-layout manifest inside a
+// directory written by SaveIndexes.
+const ManifestFile = "shards.json"
+
+// manifestVersion guards against future layout changes.
+const manifestVersion = 1
+
+type manifest struct {
+	Version   int    `json:"version"`
+	Shards    int    `json:"shards"`
+	Placement string `json:"placement"`
+	NumDocs   int    `json:"num_docs"`
+}
+
+func shardFile(s int, kind string) string {
+	return fmt.Sprintf("shard-%04d.%s.crs", s, kind)
+}
+
+// SaveIndexes partitions coll per cfg and writes the sharded index layout
+// into dir (created if missing).
+func SaveIndexes(dir string, coll *corpus.Collection, cfg Config) error {
+	colls, maps, err := Partition(coll, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for s, c := range colls {
+		if err := store.BuildInvertedFile(filepath.Join(dir, shardFile(s, "inverted")), c); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		if err := store.BuildForwardFile(filepath.Join(dir, shardFile(s, "forward")), c); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		globals := make([]uint32, len(maps[s]))
+		for i, g := range maps[s] {
+			globals[i] = uint32(g)
+		}
+		err := store.WriteAll(filepath.Join(dir, shardFile(s, "docmap")), func(append func(uint32, []uint32) error) error {
+			return append(0, globals)
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	mf, err := json.MarshalIndent(manifest{
+		Version:   manifestVersion,
+		Shards:    cfg.Shards,
+		Placement: cfg.Placement.String(),
+		NumDocs:   coll.NumDocs(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFile), append(mf, '\n'), 0o644)
+}
+
+// OpenDisk opens a sharded engine over a directory written by SaveIndexes.
+// cacheBlocks bounds each store file's block cache (0 disables caching).
+func OpenDisk(o *ontology.Ontology, dir string, cacheBlocks int) (*Engine, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var mf manifest
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return nil, fmt.Errorf("shard: bad manifest: %w", err)
+	}
+	if mf.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d", mf.Version)
+	}
+	if mf.Shards < 1 {
+		return nil, fmt.Errorf("shard: manifest declares %d shards", mf.Shards)
+	}
+	e := &Engine{o: o}
+	ok := false
+	defer func() {
+		if !ok {
+			e.Close()
+		}
+	}()
+	maps := make(staticMapper, mf.Shards)
+	for s := 0; s < mf.Shards; s++ {
+		io := &store.IOStats{}
+		inv, err := store.OpenInverted(filepath.Join(dir, shardFile(s, "inverted")), io, cacheBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		e.closers = append(e.closers, inv.Close)
+		fwd, err := store.OpenForward(filepath.Join(dir, shardFile(s, "forward")), io, cacheBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		e.closers = append(e.closers, fwd.Close)
+		dm, err := store.Open(filepath.Join(dir, shardFile(s, "docmap")), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		globals, err := dm.Lookup(0)
+		dm.Close() // the docmap is fully decoded; no need to keep it open
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: docmap: %w", s, err)
+		}
+		maps[s] = make([]corpus.DocID, len(globals))
+		for i, g := range globals {
+			maps[s][i] = corpus.DocID(g)
+		}
+		n := len(globals)
+		e.shards = append(e.shards, core.NewEngine(o, inv, fwd, n, io))
+		e.counts = append(e.counts, func() int { return n })
+	}
+	e.mapper = maps
+	ok = true
+	return e, nil
+}

@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/ontology"
+)
+
+// TestDiskRoundTrip: SaveIndexes → OpenDisk must answer queries bitwise
+// identically to the in-memory single engine, for both placements, with
+// per-shard I/O attributed in the metrics.
+func TestDiskRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	o := randomDAGOntology(r, 60, 0.3)
+	coll := randomCollection(r, o, 35, 6)
+	single := singleEngine(o, coll)
+	q := []ontology.ConceptID{1, 2, 5}
+	opts := core.Options{K: 6, ErrorThreshold: 0.5}
+	want, _, err := single.RDS(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range allPlacements {
+		dir := filepath.Join(t.TempDir(), "idx-"+p.String())
+		cfg := Config{Shards: 3, Placement: p}
+		if err := SaveIndexes(dir, coll, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err != nil {
+			t.Fatalf("manifest missing: %v", err)
+		}
+		for s := 0; s < cfg.Shards; s++ {
+			for _, kind := range []string{"inverted", "forward", "docmap"} {
+				if _, err := os.Stat(filepath.Join(dir, shardFile(s, kind))); err != nil {
+					t.Fatalf("shard file missing: %v", err)
+				}
+			}
+		}
+
+		de, err := OpenDisk(o, dir, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if de.NumShards() != cfg.Shards || de.NumDocs() != coll.NumDocs() {
+			t.Fatalf("reopened engine: %d shards, %d docs", de.NumShards(), de.NumDocs())
+		}
+		got, sm, err := de.RDS(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "disk "+p.String(), want, got)
+		if sm.Merged.IOTime <= 0 {
+			t.Errorf("disk engine reported no I/O time: %+v", sm.Merged)
+		}
+		// SDS round-trip too (exercises the disk forward index).
+		wantSDS, _, err := single.SDS(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSDS, _, err := de.SDS(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "disk sds "+p.String(), wantSDS, gotSDS)
+		if err := de.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenDiskErrors(t *testing.T) {
+	if _, err := OpenDisk(nil, filepath.Join(t.TempDir(), "nope"), 0); err == nil {
+		t.Fatal("missing manifest must fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(nil, dir, 0); err == nil {
+		t.Fatal("corrupt manifest must fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte(`{"version":99,"shards":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(nil, dir, 0); err == nil {
+		t.Fatal("unsupported version must fail")
+	}
+}

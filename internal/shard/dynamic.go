@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"sync"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+)
+
+// DynamicEngine is a growable sharded engine: AddDocument routes each new
+// document to the least-loaded shard and the document is searchable by the
+// next query — kNDS needs no distance precomputation, so sharding keeps
+// the paper's on-the-fly document integration property.
+//
+// Routing follows the SizeBalanced placement policy (smallest total
+// concept count, ties to the lowest shard index), and global DocIDs are
+// assigned in insertion order, so a DynamicEngine loaded document by
+// document answers queries identically to New(o, coll,
+// Config{Placement: SizeBalanced}) over the same sequence — and, by the
+// same merge argument, to a single engine over the union.
+type DynamicEngine struct {
+	Engine
+
+	mu    sync.RWMutex
+	dyns  []*index.Dynamic
+	maps  [][]corpus.DocID // shard-local → global, append-only
+	sizes []int            // total (deduplicated) concepts per shard
+	total int              // global documents assigned
+}
+
+// NumShards is promoted from Engine; AddDocument is the growth entry point.
+
+// NewDynamic builds an empty growable sharded engine with the given number
+// of shards.
+func NewDynamic(o *ontology.Ontology, shards int) (*DynamicEngine, error) {
+	if err := (Config{Shards: shards, Placement: SizeBalanced}).validate(); err != nil {
+		return nil, err
+	}
+	d := &DynamicEngine{
+		Engine: Engine{o: o},
+		maps:   make([][]corpus.DocID, shards),
+		sizes:  make([]int, shards),
+	}
+	for i := 0; i < shards; i++ {
+		dyn := index.NewDynamic()
+		d.dyns = append(d.dyns, dyn)
+		d.Engine.shards = append(d.Engine.shards,
+			core.NewEngineDynamic(o, dyn, dyn, dyn.NumDocs, nil))
+		d.Engine.counts = append(d.Engine.counts, dyn.NumDocs)
+	}
+	d.Engine.mapper = d
+	return d, nil
+}
+
+// global implements docMapper under the read lock: queries translate
+// shard-local results while documents may be added concurrently.
+func (d *DynamicEngine) global(s int, l corpus.DocID) corpus.DocID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.maps[s][l]
+}
+
+// AddDocument routes the document to the shard with the smallest total
+// concept count (ties: lowest shard index) and returns its global DocID,
+// assigned in insertion order. Safe for concurrent use with queries and
+// other AddDocument calls.
+func (d *DynamicEngine) AddDocument(name string, concepts []ontology.ConceptID) corpus.DocID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := 0
+	for i := 1; i < len(d.dyns); i++ {
+		if d.sizes[i] < d.sizes[s] {
+			s = i
+		}
+	}
+	id := corpus.DocID(d.total)
+	d.total++
+	d.maps[s] = append(d.maps[s], id)
+	d.sizes[s] += uniqueConcepts(concepts)
+	// The shard index append stays inside the lock so the local ID assigned
+	// by the Dynamic index always equals the map slot appended above.
+	d.dyns[s].AddDocument(name, concepts)
+	return id
+}
+
+// uniqueConcepts counts distinct concepts — the same size measure
+// Partition uses (collections deduplicate on Add), so routing matches the
+// SizeBalanced policy exactly.
+func uniqueConcepts(concepts []ontology.ConceptID) int {
+	if len(concepts) < 2 {
+		return len(concepts)
+	}
+	seen := make(map[ontology.ConceptID]struct{}, len(concepts))
+	for _, c := range concepts {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

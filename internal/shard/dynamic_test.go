@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+)
+
+// TestDynamicShardedEquivalence: documents streamed through AddDocument
+// must produce the same answers as (a) a single engine over the final
+// collection and (b) a static SizeBalanced sharded engine — the dynamic
+// router follows the same placement policy.
+func TestDynamicShardedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	o := randomDAGOntology(r, 80, 0.3)
+	coll := randomCollection(r, o, 50, 7)
+
+	de, err := NewDynamic(o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range coll.Docs() {
+		id := de.AddDocument(d.Name, d.Concepts)
+		if int(id) != i {
+			t.Fatalf("AddDocument returned %d for insertion %d", id, i)
+		}
+
+		// Query mid-growth every dozen documents: freshly added documents
+		// must be searchable immediately.
+		if i%12 != 11 {
+			continue
+		}
+		partial := corpus.New()
+		for _, pd := range coll.Docs()[:i+1] {
+			partial.Add(pd.Name, pd.TokenCount, pd.Concepts)
+		}
+		q := []ontology.ConceptID{ontology.ConceptID(r.Intn(o.NumConcepts()))}
+		opts := core.Options{K: 6, ErrorThreshold: 0.5}
+		want, _, err := singleEngine(o, partial).RDS(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := de.RDS(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "mid-growth", want, got)
+	}
+
+	static, err := New(o, coll, Config{Shards: 4, Placement: SizeBalanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := singleEngine(o, coll)
+	for qi := 0; qi < 4; qi++ {
+		q := []ontology.ConceptID{
+			ontology.ConceptID(r.Intn(o.NumConcepts())),
+			ontology.ConceptID(r.Intn(o.NumConcepts())),
+		}
+		opts := core.Options{K: 5, ErrorThreshold: 1}
+		sds := qi%2 == 1
+		var want, fromStatic, got []core.Result
+		var err error
+		if sds {
+			want, _, err = single.SDS(q, opts)
+		} else {
+			want, _, err = single.RDS(q, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sds {
+			fromStatic, _, err = static.SDS(q, opts)
+		} else {
+			fromStatic, _, err = static.RDS(q, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sds {
+			got, _, err = de.SDS(q, opts)
+		} else {
+			got, _, err = de.RDS(q, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "static", want, fromStatic)
+		assertIdentical(t, "dynamic", want, got)
+	}
+}
+
+// TestDynamicConcurrentAddsAndQueries hammers AddDocument from several
+// goroutines while queries run — the -race CI pass holds the locking to
+// account. All documents share one concept set, so after the dust settles
+// the top-k must be the k lowest global IDs at identical distances.
+func TestDynamicConcurrentAddsAndQueries(t *testing.T) {
+	b := ontology.NewBuilder("root")
+	c1 := b.AddConcept("a")
+	b.MustAddEdge(0, c1)
+	c2 := b.AddConcept("b")
+	b.MustAddEdge(0, c2)
+	o := b.MustFinalize()
+
+	de, err := NewDynamic(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const adders, perAdder = 6, 20
+	var wg sync.WaitGroup
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				de.AddDocument("doc", []ontology.ConceptID{c1})
+			}
+		}()
+	}
+	// Queries racing the adders: results only need to be internally valid
+	// (any prefix of the identical-distance docs in canonical order).
+	for q := 0; q < 10; q++ {
+		res, _, err := de.RDS([]ontology.ConceptID{c1}, core.Options{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i-1].Doc >= res[i].Doc {
+				t.Fatalf("mid-growth results out of canonical order: %v", res)
+			}
+		}
+	}
+	wg.Wait()
+
+	if n := de.NumDocs(); n != adders*perAdder {
+		t.Fatalf("NumDocs = %d, want %d", n, adders*perAdder)
+	}
+	res, _, err := de.RDS([]ontology.ConceptID{c1}, core.Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("results: %v", res)
+	}
+	for i, r := range res {
+		if r.Doc != corpus.DocID(i) || r.Distance != 0 {
+			t.Fatalf("identical docs must rank by global ID: %v", res)
+		}
+	}
+}

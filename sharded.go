@@ -1,0 +1,135 @@
+package conceptrank
+
+import (
+	"context"
+
+	"conceptrank/internal/shard"
+)
+
+// Sharded execution: the collection is partitioned across N per-shard kNDS
+// engines, every query fans out to all shards concurrently, and the
+// per-shard top-k heaps merge into a global top-k that is bitwise
+// identical to a single Engine over the union collection — same documents,
+// same distances, same tie-breaks, for every shard count and placement
+// policy. Shards propagate progress to each other: one whose outstanding
+// lower bound passes the merged k-th distance is cancelled early. See
+// DESIGN.md, "Sharded execution", for the placement invariants and the
+// merge proof sketch.
+
+// ShardPlacement selects how documents are distributed across shards.
+type ShardPlacement = shard.Placement
+
+// Shard placement policies.
+const (
+	// RoundRobinPlacement assigns document i to shard i mod N.
+	RoundRobinPlacement = shard.RoundRobin
+	// SizeBalancedPlacement assigns each document to the shard with the
+	// smallest total concept count so far.
+	SizeBalancedPlacement = shard.SizeBalanced
+)
+
+// ParseShardPlacement resolves a placement name ("round-robin" or
+// "size-balanced"), for CLI flags and configuration files.
+func ParseShardPlacement(s string) (ShardPlacement, error) { return shard.ParsePlacement(s) }
+
+// ShardConfig parameterizes a sharded engine: the number of shards (>= 1)
+// and the placement policy.
+type ShardConfig = shard.Config
+
+// ShardedMetrics describes one sharded query: merged totals, the
+// per-shard breakdown, and how many shards the cross-shard bound
+// cancelled early.
+type ShardedMetrics = shard.Metrics
+
+// ShardedEngine answers RDS and SDS queries over a partitioned collection.
+// It is safe for concurrent queries. Results are identical to a single
+// Engine over the union collection.
+type ShardedEngine struct {
+	inner *shard.Engine
+}
+
+// NewShardedEngine partitions coll per cfg and indexes every shard in
+// memory.
+func NewShardedEngine(o *Ontology, coll *Collection, cfg ShardConfig) (*ShardedEngine, error) {
+	inner, err := shard.New(o, coll, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{inner: inner}, nil
+}
+
+// SaveShardedIndexes partitions coll per cfg and writes one inverted /
+// forward / docmap file triple per shard plus a manifest into dir
+// (created if missing).
+func SaveShardedIndexes(dir string, coll *Collection, cfg ShardConfig) error {
+	return shard.SaveIndexes(dir, coll, cfg)
+}
+
+// OpenShardedDiskEngine opens the sharded disk layout previously written
+// by SaveShardedIndexes. cacheBlocks bounds each store file's decoded
+// block cache (0 disables caching). Close the engine when done.
+func OpenShardedDiskEngine(o *Ontology, dir string, cacheBlocks int) (*ShardedEngine, error) {
+	inner, err := shard.OpenDisk(o, dir, cacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{inner: inner}, nil
+}
+
+// NumShards returns the number of partitions.
+func (e *ShardedEngine) NumShards() int { return e.inner.NumShards() }
+
+// NumDocs returns the total number of documents across all shards.
+func (e *ShardedEngine) NumDocs() int { return e.inner.NumDocs() }
+
+// Close releases disk-backed resources (no-op for in-memory engines).
+func (e *ShardedEngine) Close() error { return e.inner.Close() }
+
+// RDS returns the k documents most relevant to the query concepts,
+// searched across all shards concurrently. Options.Workers == 0 means
+// serial per shard (the fan-out already fills the cores); per-query
+// callbacks in Options are used internally by the merge and are ignored.
+func (e *ShardedEngine) RDS(query []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
+	return e.inner.RDS(query, opts)
+}
+
+// SDS returns the k documents most similar to the query document's
+// concept set, searched across all shards concurrently.
+func (e *ShardedEngine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
+	return e.inner.SDS(queryDoc, opts)
+}
+
+// RDSContext is RDS under a caller context: cancellation propagates to
+// every shard and is observed at their wave boundaries.
+func (e *ShardedEngine) RDSContext(ctx context.Context, query []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
+	return e.inner.RDSContext(ctx, query, opts)
+}
+
+// SDSContext is SDS under a caller context.
+func (e *ShardedEngine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
+	return e.inner.SDSContext(ctx, queryDoc, opts)
+}
+
+// DynamicShardedEngine is a growable ShardedEngine: AddDocument routes
+// each new document to the least-loaded shard (the SizeBalanced policy)
+// and the document is searchable by the next query. AddDocument may run
+// concurrently with queries.
+type DynamicShardedEngine struct {
+	ShardedEngine
+	dyn *shard.DynamicEngine
+}
+
+// NewDynamicShardedEngine returns an empty growable sharded engine.
+func NewDynamicShardedEngine(o *Ontology, shards int) (*DynamicShardedEngine, error) {
+	dyn, err := shard.NewDynamic(o, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicShardedEngine{ShardedEngine: ShardedEngine{inner: &dyn.Engine}, dyn: dyn}, nil
+}
+
+// AddDocument routes the document to the smallest shard and returns its
+// global DocID, assigned in insertion order.
+func (e *DynamicShardedEngine) AddDocument(name string, concepts []ConceptID) DocID {
+	return e.dyn.AddDocument(name, concepts)
+}
