@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-shard experiments
+.PHONY: build test test-race vet bench bench-shard bench-trace experiments serve-demo
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,9 @@ test:
 
 # Race-detect the concurrency-bearing packages: the parallel kNDS engine
 # and its serial-equivalence suite, the sharded fan-out engine, the worker
-# pool primitives, and the shared address cache.
+# pool primitives, the shared address cache, and the telemetry registry.
 test-race:
-	$(GO) test -race -count=2 ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/...
+	$(GO) test -race -count=2 ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/... ./internal/telemetry/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -27,6 +27,18 @@ bench:
 bench-shard:
 	$(GO) run ./cmd/crbench -scale small -exp shard
 
+# Tracing cost at its three operating points (off / hook / full sink),
+# plus the BenchmarkTrace micro-benchmark CI smokes.
+bench-trace:
+	$(GO) run ./cmd/crbench -scale small -exp telemetry
+	$(GO) test -run=NONE -bench=BenchmarkTrace -benchtime=100x ./internal/core/
+
 # Regenerate the EXPERIMENTS.md tables at laptop scale.
 experiments:
 	$(GO) run ./cmd/crbench -scale small -exp all
+
+# Introspection demo: a synthetic-corpus query server with background demo
+# traffic; watch `curl localhost:6060/metrics` move, browse /debug/slowlog
+# and /debug/pprof.
+serve-demo:
+	$(GO) run ./cmd/crserve -listen :6060 -demo 50ms

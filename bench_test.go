@@ -163,7 +163,7 @@ func BenchmarkFig8QuerySize(b *testing.B) {
 			})
 			b.Run(fmt.Sprintf("%s/nq=%d/baseline", ds.Name, nq), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, err := ds.Engine.FullScanRDS(queries[i%len(queries)], bench.DefaultK, false); err != nil {
+					if _, _, err := ds.Engine.FullScanRDS(queries[i%len(queries)], core.Options{K: bench.DefaultK}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -211,9 +211,9 @@ func BenchmarkFig9NumResults(b *testing.B) {
 					q := queries[i%len(queries)]
 					var err error
 					if sds {
-						_, _, err = ds.Engine.FullScanSDS(q, bench.DefaultK, false)
+						_, _, err = ds.Engine.FullScanSDS(q, core.Options{K: bench.DefaultK})
 					} else {
-						_, _, err = ds.Engine.FullScanRDS(q, bench.DefaultK, false)
+						_, _, err = ds.Engine.FullScanRDS(q, core.Options{K: bench.DefaultK})
 					}
 					if err != nil {
 						b.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"conceptrank/internal/bench"
+	"conceptrank/internal/telemetry"
 )
 
 func main() {
@@ -29,9 +30,18 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		workers   = flag.Int("workers", 1, "intra-query Options.Workers for the reproduction workloads (1 = the paper's serial engine; results identical either way)")
 		outPath   = flag.String("out", "", "also write the markdown to this file")
+		listen    = flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
 	)
 	flag.Parse()
 	bench.QueryWorkers = *workers
+
+	if *listen != "" {
+		srv, err := telemetry.New(telemetry.Config{}).Serve(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s/debug/pprof/\n", srv.Addr)
+	}
 
 	scale, err := bench.ScaleByName(*scaleName)
 	if err != nil {

@@ -35,8 +35,19 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also run the full-scan baseline and compare")
 		shards    = flag.Int("shards", 1, "partition the collection across N parallel engines (results identical)")
 		placement = flag.String("placement", "round-robin", "shard placement policy: round-robin or size-balanced")
+		listen    = flag.String("listen", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; keeps running after the query")
 	)
 	flag.Parse()
+
+	var tel *conceptrank.Telemetry
+	if *listen != "" {
+		tel = conceptrank.NewTelemetry(conceptrank.TelemetryConfig{})
+		srv, err := tel.Serve(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("introspection server on http://%s/metrics\n", srv.Addr)
+	}
 
 	o, err := conceptrank.LoadOntology(filepath.Join(*data, "ontology.cro"))
 	if err != nil {
@@ -47,6 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 	eng := conceptrank.NewEngine(o, coll)
+	eng.EnableTelemetry(tel)
 
 	var concepts []conceptrank.ConceptID
 	switch strings.ToLower(*queryType) {
@@ -100,6 +112,7 @@ func main() {
 		if serr != nil {
 			log.Fatal(serr)
 		}
+		seng.EnableTelemetry(tel)
 		var sm *conceptrank.ShardedMetrics
 		if sds {
 			results, sm, err = seng.SDS(concepts, opts)
@@ -153,6 +166,11 @@ func main() {
 			}
 		}
 		fmt.Println("baseline agrees with kNDS.")
+	}
+
+	if *listen != "" {
+		fmt.Println("query done; introspection server still running (ctrl-c to exit)")
+		select {}
 	}
 }
 

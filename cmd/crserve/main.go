@@ -1,0 +1,279 @@
+// Command crserve runs a kNDS query server with live introspection: a
+// /search endpoint next to the full telemetry surface (/metrics,
+// /debug/vars, /debug/slowlog, /debug/pprof/*). It serves either a data
+// directory written by crgen or, with no -data, a self-contained synthetic
+// ontology + corpus — handy for demos and for watching the metrics move:
+//
+//	crserve -listen :6060                # synthetic corpus
+//	crserve -listen :6060 -demo 100ms    # plus background demo traffic
+//	crserve -listen :6060 -data data -corpus RADIO -shards 4
+//
+//	curl 'localhost:6060/search?type=rds&ids=42,99&k=10&eps=0.5'
+//	curl localhost:6060/metrics
+//	curl localhost:6060/debug/slowlog
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"conceptrank"
+)
+
+// searcher is the slice of the engine surface the server needs; both
+// Engine and ShardedEngine satisfy it via small adapters (their metrics
+// types differ).
+type searcher interface {
+	rds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error)
+	sds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error)
+	numDocs() int
+	docConcepts(id conceptrank.DocID) []conceptrank.ConceptID
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crserve: ")
+	var (
+		listen    = flag.String("listen", ":6060", "HTTP listen address")
+		data      = flag.String("data", "", "data directory written by crgen (empty = synthetic corpus)")
+		corpusArg = flag.String("corpus", "RADIO", "collection within -data: PATIENT or RADIO")
+		concepts  = flag.Int("concepts", 5000, "synthetic ontology size (no -data)")
+		scale     = flag.Float64("corpus-scale", 0.05, "synthetic corpus scale (no -data; 1.0 = paper RADIO size)")
+		seed      = flag.Int64("seed", 1, "synthetic generator seed")
+		shards    = flag.Int("shards", 1, "partition the collection across N engines")
+		placement = flag.String("placement", "round-robin", "shard placement policy")
+		slowMS    = flag.Int("slow", 25, "slow-log latency threshold in milliseconds (0 = log every query)")
+		demo      = flag.Duration("demo", 0, "fire a random background query this often (0 = off)")
+	)
+	flag.Parse()
+
+	o, coll, err := loadOrGenerate(*data, *corpusArg, *concepts, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slowThreshold := time.Duration(*slowMS) * time.Millisecond
+	if *slowMS <= 0 {
+		slowThreshold = time.Nanosecond // Config treats 0 as "use the default"
+	}
+	tel := conceptrank.NewTelemetry(conceptrank.TelemetryConfig{SlowThreshold: slowThreshold})
+
+	var s searcher
+	if *shards > 1 {
+		pl, err := conceptrank.ParseShardPlacement(*placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		se, err := conceptrank.NewShardedEngine(o, coll, conceptrank.ShardConfig{Shards: *shards, Placement: pl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		se.EnableTelemetry(tel)
+		s = &shardedSearcher{eng: se, coll: coll}
+	} else {
+		eng := conceptrank.NewEngine(o, coll)
+		eng.EnableTelemetry(tel)
+		s = &singleSearcher{eng: eng, coll: coll}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", tel.Handler())
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		serveSearch(w, r, o, s)
+	})
+
+	if *demo > 0 {
+		go demoTraffic(s, o, *demo, *seed)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	go func() {
+		log.Printf("serving %d docs on %s (search: /search, metrics: /metrics)", s.numDocs(), *listen)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	_ = srv.Close()
+}
+
+func loadOrGenerate(data, corpusName string, concepts int, scale float64, seed int64) (*conceptrank.Ontology, *conceptrank.Collection, error) {
+	if data != "" {
+		o, err := conceptrank.LoadOntology(filepath.Join(data, "ontology.cro"))
+		if err != nil {
+			return nil, nil, err
+		}
+		coll, err := conceptrank.LoadCollection(filepath.Join(data, strings.ToUpper(corpusName)+".crc"))
+		return o, coll, err
+	}
+	o, err := conceptrank.GenerateOntology(conceptrank.OntologyConfig{NumConcepts: concepts, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	coll, err := conceptrank.GenerateCorpus(o, conceptrank.RadioProfile(scale, seed))
+	return o, coll, err
+}
+
+type singleSearcher struct {
+	eng  *conceptrank.Engine
+	coll *conceptrank.Collection
+}
+
+func (s *singleSearcher) rds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error) {
+	return s.eng.RDS(q, opts)
+}
+func (s *singleSearcher) sds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error) {
+	return s.eng.SDS(q, opts)
+}
+func (s *singleSearcher) numDocs() int { return s.coll.NumDocs() }
+func (s *singleSearcher) docConcepts(id conceptrank.DocID) []conceptrank.ConceptID {
+	return s.coll.Doc(id).Concepts
+}
+
+type shardedSearcher struct {
+	eng  *conceptrank.ShardedEngine
+	coll *conceptrank.Collection
+}
+
+func (s *shardedSearcher) rds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error) {
+	res, sm, err := s.eng.RDS(q, opts)
+	return res, shardedMetrics(sm), err
+}
+func (s *shardedSearcher) sds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error) {
+	res, sm, err := s.eng.SDS(q, opts)
+	return res, shardedMetrics(sm), err
+}
+func (s *shardedSearcher) numDocs() int { return s.eng.NumDocs() }
+func (s *shardedSearcher) docConcepts(id conceptrank.DocID) []conceptrank.ConceptID {
+	return s.coll.Doc(id).Concepts
+}
+
+func shardedMetrics(sm *conceptrank.ShardedMetrics) *conceptrank.Metrics {
+	if sm == nil {
+		return nil
+	}
+	return &sm.Merged
+}
+
+type searchResponse struct {
+	Results []searchResult       `json:"results"`
+	Metrics *conceptrank.Metrics `json:"metrics"`
+}
+
+type searchResult struct {
+	Doc      int     `json:"doc"`
+	Distance float64 `json:"distance"`
+}
+
+func serveSearch(w http.ResponseWriter, r *http.Request, o *conceptrank.Ontology, s searcher) {
+	qp := r.URL.Query()
+	opts := conceptrank.Options{K: 10, ErrorThreshold: 0.5}
+	if v := qp.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		opts.K = n
+	}
+	if v := qp.Get("eps"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			httpError(w, http.StatusBadRequest, "bad eps %q (want [0,1])", v)
+			return
+		}
+		opts.ErrorThreshold = f
+	}
+	if v := qp.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		opts.Workers = n
+	}
+
+	var (
+		results []conceptrank.Result
+		m       *conceptrank.Metrics
+		err     error
+	)
+	switch typ := qp.Get("type"); typ {
+	case "", "rds":
+		var ids []conceptrank.ConceptID
+		for _, part := range strings.Split(qp.Get("ids"), ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			n, perr := strconv.ParseUint(part, 10, 32)
+			if perr != nil || int(n) >= o.NumConcepts() {
+				httpError(w, http.StatusBadRequest, "bad concept ID %q", part)
+				return
+			}
+			ids = append(ids, conceptrank.ConceptID(n))
+		}
+		if len(ids) == 0 {
+			httpError(w, http.StatusBadRequest, "rds needs ids=1,2,...")
+			return
+		}
+		results, m, err = s.rds(ids, opts)
+	case "sds":
+		doc, perr := strconv.Atoi(qp.Get("doc"))
+		if perr != nil || doc < 0 || doc >= s.numDocs() {
+			httpError(w, http.StatusBadRequest, "sds needs doc in [0,%d)", s.numDocs())
+			return
+		}
+		results, m, err = s.sds(s.docConcepts(conceptrank.DocID(doc)), opts)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown type %q (want rds or sds)", typ)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+
+	resp := searchResponse{Results: make([]searchResult, len(results)), Metrics: m}
+	for i, res := range results {
+		resp.Results[i] = searchResult{Doc: int(res.Doc), Distance: res.Distance}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// demoTraffic fires random RDS/SDS queries so the telemetry surface has
+// something to show out of the box.
+func demoTraffic(s searcher, o *conceptrank.Ontology, every time.Duration, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for range time.Tick(every) {
+		opts := conceptrank.Options{K: 1 + r.Intn(10), ErrorThreshold: r.Float64()}
+		if r.Intn(4) == 0 && s.numDocs() > 0 {
+			_, _, _ = s.sds(s.docConcepts(conceptrank.DocID(r.Intn(s.numDocs()))), opts)
+			continue
+		}
+		q := make([]conceptrank.ConceptID, 1+r.Intn(4))
+		for i := range q {
+			q[i] = conceptrank.ConceptID(r.Intn(o.NumConcepts()))
+		}
+		_, _, _ = s.rds(q, opts)
+	}
+}

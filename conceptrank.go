@@ -48,6 +48,7 @@ import (
 	"conceptrank/internal/ontogen"
 	"conceptrank/internal/ontology"
 	"conceptrank/internal/store"
+	"conceptrank/internal/telemetry"
 )
 
 // Core identifiers and data types, re-exported from the internal packages.
@@ -77,8 +78,23 @@ type (
 	// DESIGN.md; results are identical at every Workers setting).
 	Options = core.Options
 	// Option is a functional query option (WithK, WithEpsilon, WithWorkers,
-	// WithQueueLimit) applied over Options.
+	// WithQueueLimit, WithTrace) applied over Options.
 	Option = core.Option
+	// TraceEvent is one typed span event observed by a per-query Trace
+	// hook (BFS waves, DRC probes, bound movement, shard fan-out).
+	TraceEvent = core.TraceEvent
+	// TraceKind enumerates the span event types.
+	TraceKind = core.TraceKind
+	// TraceFunc receives span events; install with Options.Trace or
+	// WithTrace. Delivery is sequential on the query's goroutine.
+	TraceFunc = core.TraceFunc
+	// Telemetry bundles the runtime metrics registry, per-query stats and
+	// the slow-query log; attach one to an engine with EnableTelemetry and
+	// expose it with its Handler or Serve methods.
+	Telemetry = telemetry.Sink
+	// TelemetryConfig parameterizes NewTelemetry (prefix, slow-query
+	// threshold and capacity). The zero value is usable.
+	TelemetryConfig = telemetry.Config
 	// OntologyConfig parameterizes the synthetic ontology generator.
 	OntologyConfig = ontogen.Config
 	// CorpusProfile parameterizes the synthetic EMR corpus generator.
@@ -106,6 +122,29 @@ func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
 // WithQueueLimit sets the BFS queue bound (Options.QueueLimit).
 func WithQueueLimit(n int) Option { return core.WithQueueLimit(n) }
+
+// WithTrace installs a per-query span-event hook (Options.Trace). Tracing
+// is observation-only — it never changes results — and a nil hook costs
+// one branch per would-be event.
+func WithTrace(fn TraceFunc) Option { return core.WithTrace(fn) }
+
+// Span event kinds a Trace hook can observe, re-exported from the engine.
+const (
+	TraceWaveStart     = core.TraceWaveStart
+	TraceWaveEnd       = core.TraceWaveEnd
+	TraceForcedExam    = core.TraceForcedExam
+	TraceDRCProbe      = core.TraceDRCProbe
+	TraceBound         = core.TraceBound
+	TraceTerminate     = core.TraceTerminate
+	TraceShardDispatch = core.TraceShardDispatch
+	TraceShardMerge    = core.TraceShardMerge
+)
+
+// NewTelemetry builds a telemetry sink. Share one sink across the engines
+// of a process (or give each engine its own Prefix) and mount its Handler
+// — /metrics, /debug/vars, /debug/slowlog, /debug/pprof/* — or call its
+// Serve method to bind an introspection listener.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
 
 // NewOptions builds an Options value by applying opts over the zero value.
 func NewOptions(opts ...Option) Options { return core.NewOptions(opts...) }
@@ -174,6 +213,28 @@ type Engine struct {
 	numDocs func() int
 	io      *store.IOStats
 	files   []interface{ Close() error }
+	tel     *telemetry.Sink
+}
+
+// EnableTelemetry attaches sink to the engine: every subsequent query
+// (RDS, SDS, full scans) records its latency, counters and ε_d into the
+// sink's registry, and slow or failed queries are captured — with their
+// span-event streams — in the sink's slow log. A caller-provided
+// Options.Trace hook keeps working; the sink chains to it. Batch entry
+// points are not per-query recorded. Pass nil to detach. Not safe to call
+// concurrently with queries.
+func (e *Engine) EnableTelemetry(sink *Telemetry) { e.tel = sink }
+
+// instrument opens a telemetry recording for one query, splicing the
+// sink's recorder in front of any caller trace hook. It returns nil when
+// telemetry is disabled — the query then runs exactly as before.
+func (e *Engine) instrument(kind string, opts *Options) func(*Metrics, error) {
+	if e.tel == nil {
+		return nil
+	}
+	trace, done := e.tel.Query(kind, opts.Trace)
+	opts.Trace = trace
+	return done
 }
 
 // NewEngine indexes coll in memory and returns a ready engine.
@@ -358,13 +419,13 @@ func (e *Engine) Close() error {
 
 // RDS returns the k documents most relevant to the query concepts.
 func (e *Engine) RDS(query []ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.inner.RDS(query, opts)
+	return e.RDSContext(context.Background(), query, opts)
 }
 
 // SDS returns the k documents most similar to the query document's
 // concept set.
 func (e *Engine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.inner.SDS(queryDoc, opts)
+	return e.SDSContext(context.Background(), queryDoc, opts)
 }
 
 // RDSContext is RDS under a caller context. Cancellation is observed at
@@ -372,13 +433,23 @@ func (e *Engine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Metrics, er
 // query returns ctx.Err() with nil results and the metrics accumulated so
 // far. RDS is exactly RDSContext with context.Background().
 func (e *Engine) RDSContext(ctx context.Context, query []ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.inner.RDSContext(ctx, query, opts)
+	done := e.instrument("rds", &opts)
+	res, m, err := e.inner.RDSContext(ctx, query, opts)
+	if done != nil {
+		done(m, err)
+	}
+	return res, m, err
 }
 
 // SDSContext is SDS under a caller context; see RDSContext for the
 // cancellation contract.
 func (e *Engine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.inner.SDSContext(ctx, queryDoc, opts)
+	done := e.instrument("sds", &opts)
+	res, m, err := e.inner.SDSContext(ctx, queryDoc, opts)
+	if done != nil {
+		done(m, err)
+	}
+	return res, m, err
 }
 
 // BatchRDS evaluates many RDS queries concurrently over a worker pool
@@ -397,7 +468,10 @@ func (e *Engine) BatchSDS(queryDocs [][]ConceptID, opts Options, workers int) ([
 }
 
 // BatchRDSContext is BatchRDS under a caller context: cancellation stops
-// scheduling further queries and returns the context's error.
+// scheduling further queries and returns the context's error together
+// with the partial output — queries that completed before the failure
+// keep their results and Metrics (both non-nil); aborted or unscheduled
+// queries have both slots nil.
 func (e *Engine) BatchRDSContext(ctx context.Context, queries [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
 	return e.inner.BatchRDSContext(ctx, queries, opts, workers)
 }
@@ -429,19 +503,25 @@ func (e *Engine) FullScanSDS(queryDoc []ConceptID, opts ...Option) ([]Result, *M
 
 func (e *Engine) fullScan(sds bool, query []ConceptID, opts []Option) ([]Result, *Metrics, error) {
 	o := core.NewOptions(opts...)
-	if o.Workers < 0 {
-		return nil, &Metrics{}, core.ErrNegativeWorkers
-	}
-	if o.Workers > 1 {
-		if sds {
-			return e.inner.FullScanSDSParallel(query, o.K, o.Workers)
-		}
-		return e.inner.FullScanRDSParallel(query, o.K, o.Workers)
-	}
+	kind := "scan_rds"
 	if sds {
-		return e.inner.FullScanSDS(query, o.K, false)
+		kind = "scan_sds"
 	}
-	return e.inner.FullScanRDS(query, o.K, false)
+	done := e.instrument(kind, &o)
+	var (
+		res []Result
+		m   *Metrics
+		err error
+	)
+	if sds {
+		res, m, err = e.inner.FullScanSDS(query, o)
+	} else {
+		res, m, err = e.inner.FullScanRDS(query, o)
+	}
+	if done != nil {
+		done(m, err)
+	}
+	return res, m, err
 }
 
 // FullScanRDSParallel is FullScanRDS with the scan partitioned across

@@ -238,7 +238,7 @@ func All(env *Env) ([]*Table, error) {
 		return nil, err
 	}
 	out = append(out, ex)
-	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery, ShardSweep} {
+	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery, ShardSweep, TelemetryOverhead} {
 		tbl, err := fn(env)
 		if err != nil {
 			return nil, err
@@ -251,7 +251,8 @@ func All(env *Env) ([]*Table, error) {
 // Experiment names accepted by Run.
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
-	"dedup", "queue", "skip", "store", "ta", "parallel", "shard", "all",
+	"dedup", "queue", "skip", "store", "ta", "parallel", "shard",
+	"telemetry", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -302,6 +303,9 @@ func Run(env *Env, name string) ([]*Table, error) {
 		return []*Table{inter, intra}, nil
 	case "shard":
 		t, err := ShardSweep(env)
+		return []*Table{t}, err
+	case "telemetry":
+		t, err := TelemetryOverhead(env)
 		return []*Table{t}, err
 	case "all", "":
 		return All(env)

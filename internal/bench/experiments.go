@@ -237,7 +237,7 @@ func Fig8(env *Env) ([]*Table, error) {
 			}
 			var baseTotal time.Duration
 			for _, q := range queries {
-				_, m, err := ds.Engine.FullScanRDS(q, DefaultK, false)
+				_, m, err := ds.Engine.FullScanRDS(q, core.Options{K: DefaultK})
 				if err != nil {
 					return nil, err
 				}
@@ -280,9 +280,9 @@ func Fig9(env *Env) ([]*Table, error) {
 				var m *core.Metrics
 				var err error
 				if sds {
-					_, m, err = ds.Engine.FullScanSDS(q, DefaultK, false)
+					_, m, err = ds.Engine.FullScanSDS(q, core.Options{K: DefaultK})
 				} else {
-					_, m, err = ds.Engine.FullScanRDS(q, DefaultK, false)
+					_, m, err = ds.Engine.FullScanRDS(q, core.Options{K: DefaultK})
 				}
 				if err != nil {
 					return nil, err

@@ -14,30 +14,49 @@ import (
 // comparison against kNDS isolates the pruning gains) and keeps the k best.
 // Its cost is therefore independent of k, which is exactly the flat-line
 // behaviour of the baseline curves in Figure 9.
+//
+// Both scans honor the Options subset that makes sense for a scan — K,
+// UseBL (the pairwise ablation calculator), Workers (> 1 partitions the
+// scan across a pool with results identical to serial; the BL calculator
+// is not safe for concurrent use, so UseBL always scans serial) and Trace.
+// Traversal knobs (ErrorThreshold, QueueLimit, ...) are ignored: a scan
+// has no traversal to tune. The serial scan emits one WaveStart/WaveEnd
+// pair around the scan, a DRCProbe per examined document, and a Terminate
+// event with ε_d = 0 (a scan computes every distance exactly); the
+// partitioned scan emits only the coarse events — per-document probes
+// would have to cross worker goroutines, and the Trace contract is
+// sequential delivery on the caller's goroutine.
 
-// FullScanRDS ranks every document by Ddq and returns the top k.
-func (e *Engine) FullScanRDS(q []ontology.ConceptID, k int, useBL bool) ([]Result, *Metrics, error) {
-	return e.fullScan(false, q, k, useBL)
+// FullScanRDS ranks every document by Ddq and returns the top opts.K.
+func (e *Engine) FullScanRDS(q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.fullScanDispatch(false, q, opts)
 }
 
-// FullScanSDS ranks every document by Ddd and returns the top k.
-func (e *Engine) FullScanSDS(queryDoc []ontology.ConceptID, k int, useBL bool) ([]Result, *Metrics, error) {
-	return e.fullScan(true, queryDoc, k, useBL)
+// FullScanSDS ranks every document by Ddd and returns the top opts.K.
+func (e *Engine) FullScanSDS(queryDoc []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	return e.fullScanDispatch(true, queryDoc, opts)
 }
 
-func (e *Engine) fullScan(sds bool, rawQuery []ontology.ConceptID, k int, useBL bool) ([]Result, *Metrics, error) {
+func (e *Engine) fullScanDispatch(sds bool, q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	if opts.Workers < 0 {
+		return nil, &Metrics{}, ErrNegativeWorkers
+	}
+	if opts.Workers > 1 && !opts.UseBL {
+		return e.fullScanParallel(sds, q, opts)
+	}
+	return e.fullScan(sds, q, opts)
+}
+
+func (e *Engine) fullScan(sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
 	m := &Metrics{}
-	start := time.Now()
-	ioStart := e.ioSnapshot()
-	defer func() {
-		m.TotalTime = time.Since(start)
-		m.IOTime = e.ioSnapshot() - ioStart
-	}()
+	defer e.beginQuery(m)()
+	tr := newTracer(opts.Trace)
 
 	q := dedupConcepts(rawQuery)
 	if len(q) == 0 {
 		return nil, m, ErrEmptyQuery
 	}
+	k := opts.K
 	if k <= 0 {
 		k = 10
 	}
@@ -45,15 +64,17 @@ func (e *Engine) fullScan(sds bool, rawQuery []ontology.ConceptID, k int, useBL 
 	var prep *drc.Prepared
 	var bl *distance.BL
 	t0 := time.Now()
-	if useBL {
+	if opts.UseBL {
 		bl = distance.NewBL(e.o, 0)
 	} else {
 		prep = drc.PrepareCached(e.o, q, 0, e.addrCache)
 	}
 	m.DistanceTime += time.Since(t0)
 
+	n := e.numDocs()
+	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
 	hk := newTopK(k)
-	for d := corpus.DocID(0); int(d) < e.numDocs(); d++ {
+	for d := corpus.DocID(0); int(d) < n; d++ {
 		concepts, err := e.fwd.Concepts(d)
 		if err != nil {
 			return nil, m, err
@@ -64,9 +85,9 @@ func (e *Engine) fullScan(sds bool, rawQuery []ontology.ConceptID, k int, useBL 
 		t1 := time.Now()
 		var dist float64
 		switch {
-		case useBL && sds:
+		case opts.UseBL && sds:
 			dist = bl.DocDoc(concepts, q)
-		case useBL:
+		case opts.UseBL:
 			dist = bl.DocQuery(concepts, q)
 		case sds:
 			dist, err = prep.DocDoc(concepts)
@@ -79,9 +100,12 @@ func (e *Engine) fullScan(sds bool, rawQuery []ontology.ConceptID, k int, useBL 
 		}
 		m.DocsExamined++
 		m.DRCCalls++
+		tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: d, Value: dist, N: 1})
 		hk.offer(Result{Doc: d, Distance: dist})
 	}
+	tr.emit(TraceEvent{Kind: TraceWaveEnd, N: m.DocsExamined})
 	results := hk.sorted()
 	m.ResultCount = len(results)
+	tr.emit(TraceEvent{Kind: TraceTerminate, Value: 0, N: len(results)})
 	return results, m, nil
 }

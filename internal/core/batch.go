@@ -25,6 +25,13 @@ import (
 // inter-query layer already saturates the CPU on large batches, a batch
 // treats Options.Workers == 0 as 1 (serial per query) rather than
 // GOMAXPROCS; set it explicitly to oversubscribe.
+//
+// On error or cancellation the batch returns the partial result and
+// metrics slices alongside the error: a query that completed before the
+// failure keeps its results and Metrics (both non-nil, internally
+// consistent — TotalTime set, counters final); a query that failed, was
+// aborted mid-flight, or was never scheduled has both slots nil. Non-nil
+// metrics[i] therefore always means query i completed.
 
 // BatchRDS evaluates many RDS queries concurrently with the given number
 // of scheduler workers (<= 0 selects GOMAXPROCS).
@@ -38,7 +45,8 @@ func (e *Engine) BatchSDS(queryDocs [][]ontology.ConceptID, opts Options, worker
 }
 
 // BatchRDSContext is BatchRDS under a caller context: cancellation stops
-// scheduling new queries and the context's error is returned.
+// scheduling new queries and the context's error is returned together
+// with the partial results (see the package comment on batch evaluation).
 func (e *Engine) BatchRDSContext(ctx context.Context, queries [][]ontology.ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
 	return e.batch(ctx, false, queries, opts, workers)
 }
@@ -88,16 +96,20 @@ func (e *Engine) batch(ctx context.Context, sds bool, queries [][]ontology.Conce
 				results[i], metrics[i], err = e.RDSContext(gctx, queries[i], opts)
 			}
 			if err != nil {
+				// Keep the completed/failed distinction crisp: a failed
+				// query surrenders whatever partial state the engine
+				// returned, so non-nil metrics always means "completed".
+				results[i], metrics[i] = nil, nil
 				return fmt.Errorf("batch query %d: %w", i, err)
 			}
 			return nil
 		})
 	}
 	if err := g.Wait(); err != nil {
-		return nil, nil, err
+		return results, metrics, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return results, metrics, err
 	}
 	return results, metrics, nil
 }

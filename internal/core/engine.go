@@ -105,6 +105,16 @@ type Options struct {
 	// progress to the cross-shard early-termination check. Like Progressive
 	// it is invoked sequentially from the goroutine running the query.
 	OnBound func(dMinus float64)
+	// Trace, when non-nil, receives typed span events (see TraceKind) with
+	// monotonic timestamps: WaveStart/WaveEnd around each BFS depth level,
+	// DRCProbe per exact-distance examination, ForcedExam on queue-limit
+	// pauses, Bound after each wave, and a Terminate event whose ε_d equals
+	// the returned Metrics.TerminalEps. Tracing is observation-only —
+	// results, pruning and every counter are identical with and without a
+	// hook — and, like Progressive, the hook is invoked sequentially from
+	// the goroutine running the query at every Workers setting. A nil Trace
+	// costs one branch per would-be event.
+	Trace TraceFunc
 }
 
 // WaveInfo is the per-wave traversal snapshot delivered to Options.OnWave.
@@ -148,8 +158,12 @@ func (o Options) Normalize() Options {
 type Metrics struct {
 	TraversalTime time.Duration // BFS expansion, bound maintenance
 	DistanceTime  time.Duration // DRC / BL exact distance computations
-	IOTime        time.Duration // index access time (disk-backed stores)
-	TotalTime     time.Duration
+	// IOTime is the index access time attributed to this query. It is
+	// always zero for in-memory stores: only the disk-backed indexes share
+	// a store.IOStats with the engine (see NewEngine), so memory-resident
+	// lookups have nothing to attribute.
+	IOTime    time.Duration
+	TotalTime time.Duration
 
 	Iterations     int   // BFS waves completed
 	NodesVisited   int64 // BFS states popped
@@ -165,6 +179,14 @@ type Metrics struct {
 	// All other counters are identical at every Workers setting — the
 	// parallel engine commits exactly the serial decision sequence.
 	SpeculativeDRC int
+
+	// TerminalEps is ε_d at termination: 1 - kth/d⁻, the Eq. 9 error form
+	// applied to the whole query at its stopping point. 0 means no slack
+	// (the heap never filled, or d⁻ barely cleared the k-th distance);
+	// 1 means traversal exhausted with unbounded margin. Full scans report
+	// 0 (they compute every distance exactly). The same value rides on the
+	// TraceTerminate span event.
+	TerminalEps float64
 }
 
 // ExaminedPrecision returns |top-k| / examined — the fraction of examined
@@ -280,14 +302,25 @@ func (e *Engine) ioSnapshot() time.Duration {
 	return e.io.Time()
 }
 
-func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
-	m := &Metrics{}
+// beginQuery starts the wall-clock / I/O attribution shared by every query
+// entry point (kNDS search, serial and partitioned full scans): it
+// snapshots the engine's cumulative I/O time, and the returned func —
+// deferred by the caller — finalizes Metrics.TotalTime and Metrics.IOTime
+// as deltas. IOTime is zero for in-memory stores, which share no
+// store.IOStats with the engine.
+func (e *Engine) beginQuery(m *Metrics) func() {
 	start := time.Now()
 	ioStart := e.ioSnapshot()
-	defer func() {
+	return func() {
 		m.TotalTime = time.Since(start)
 		m.IOTime = e.ioSnapshot() - ioStart
-	}()
+	}
+}
+
+func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	m := &Metrics{}
+	defer e.beginQuery(m)()
+	tr := newTracer(opts.Trace)
 
 	if opts.Workers < 0 {
 		return nil, m, ErrNegativeWorkers
@@ -470,10 +503,12 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 		m.DocsExamined++
 		fullyCovered := st.nCoveredA == nq && (!sds || len(st.coveredB) == int(st.sizeB))
 		var dist float64
+		drcRan := 1
 		if fullyCovered && !opts.NoSkipWhenCovered {
 			// Optimization 3: BFS first-contact distances are exact, so the
 			// accumulated partial distance is the true distance.
 			dist = partialOf(st)
+			drcRan = 0
 		} else if st.specHas {
 			// A pool worker already computed this distance speculatively
 			// (its time is accounted under DistanceTime at the wave
@@ -505,6 +540,7 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 			}
 			m.DRCCalls++
 		}
+		tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: doc, Value: dist, N: drcRan})
 		hk.offer(Result{Doc: doc, Distance: dist})
 		return nil
 	}
@@ -520,6 +556,7 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 	// against implementation bugs, not a tuning knob.
 	maxWaves := 2*(2*e.o.MaxDepth()+4) + 8
 	lastPauseDepth := int32(-1)
+	lastDMinus := math.Inf(1) // d⁻ of the final wave, for TerminalEps
 
 	for wave := 0; ; wave++ {
 		if wave > maxWaves {
@@ -541,11 +578,14 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 			t0 := time.Now()
 			waveDepth := queue[head].depth
 			var waveVisited []VisitedNode
+			popBase := m.NodesVisited
+			tr.emit(TraceEvent{Kind: TraceWaveStart, Wave: wave, Depth: int(waveDepth), N: len(queue) - head})
 			for head < len(queue) && queue[head].depth == waveDepth {
 				if opts.QueueLimit > 0 && len(queue)-head > opts.QueueLimit && lastPauseDepth != waveDepth {
 					lastPauseDepth = waveDepth
 					forced = true
 					m.ForcedExams++
+					tr.emit(TraceEvent{Kind: TraceForcedExam, Wave: wave, Depth: int(waveDepth), N: len(queue) - head})
 					break
 				}
 				s := queue[head]
@@ -559,6 +599,7 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 				}
 			}
 			m.Iterations++
+			tr.emit(TraceEvent{Kind: TraceWaveEnd, Wave: wave, Depth: int(waveDepth), N: int(m.NodesVisited - popBase)})
 			if opts.OnWave != nil {
 				info := WaveInfo{Depth: int(waveDepth), Visited: waveVisited,
 					CoveredDist: make(map[corpus.DocID][]int32, len(states))}
@@ -663,6 +704,8 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 				}
 			}
 		}
+		lastDMinus = dMinus
+		tr.emit(TraceEvent{Kind: TraceBound, Wave: wave, Value: dMinus})
 		if opts.OnBound != nil {
 			opts.OnBound(dMinus)
 		}
@@ -681,6 +724,8 @@ func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.Conce
 
 	results := hk.sorted()
 	m.ResultCount = len(results)
+	m.TerminalEps = terminalEps(hk.kth(), lastDMinus)
+	tr.emit(TraceEvent{Kind: TraceTerminate, Value: m.TerminalEps, N: len(results)})
 	if opts.Progressive != nil {
 		for _, r := range results {
 			if !emitted[r.Doc] {

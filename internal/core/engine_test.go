@@ -422,7 +422,7 @@ func TestFullScanBaselineMatchesKNDS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scan, ms, err := e.FullScanRDS(q, 7, false)
+	scan, ms, err := e.FullScanRDS(q, Options{K: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,7 +439,7 @@ func TestFullScanBaselineMatchesKNDS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scanS, _, err := e.FullScanSDS(q, 7, false)
+	scanS, _, err := e.FullScanSDS(q, Options{K: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

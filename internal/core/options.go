@@ -23,6 +23,10 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 // WithQueueLimit sets the BFS queue bound (Options.QueueLimit).
 func WithQueueLimit(n int) Option { return func(o *Options) { o.QueueLimit = n } }
 
+// WithTrace installs a per-query span-event hook (Options.Trace). Tracing
+// is observation-only; a nil hook costs one branch per would-be event.
+func WithTrace(fn TraceFunc) Option { return func(o *Options) { o.Trace = fn } }
+
 // NewOptions builds an Options value by applying opts over the zero value.
 // The result is not normalized; queries normalize on entry as usual.
 func NewOptions(opts ...Option) Options {

@@ -174,34 +174,39 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 
 // FullScanRDSParallel ranks every document by Ddq on a worker pool
 // (workers <= 0 selects GOMAXPROCS) and returns the top k.
+//
+// Deprecated: use FullScanRDS with Options{K: k, Workers: workers}.
 func (e *Engine) FullScanRDSParallel(q []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	return e.fullScanParallel(false, q, k, workers)
+	return e.fullScanDispatch(false, q, Options{K: k, Workers: defaultWorkers(workers)})
 }
 
 // FullScanSDSParallel ranks every document by Ddd on a worker pool.
+//
+// Deprecated: use FullScanSDS with Options{K: k, Workers: workers}.
 func (e *Engine) FullScanSDSParallel(queryDoc []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	return e.fullScanParallel(true, queryDoc, k, workers)
+	return e.fullScanDispatch(true, queryDoc, Options{K: k, Workers: defaultWorkers(workers)})
 }
 
-func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+func defaultWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 {
-		return e.fullScan(sds, rawQuery, k, false)
-	}
+	return w
+}
+
+// fullScanParallel is the partitioned scan; the dispatcher guarantees
+// opts.Workers > 1 and !opts.UseBL.
+func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	workers := opts.Workers
 	m := &Metrics{}
-	start := time.Now()
-	ioStart := e.ioSnapshot()
-	defer func() {
-		m.TotalTime = time.Since(start)
-		m.IOTime = e.ioSnapshot() - ioStart
-	}()
+	defer e.beginQuery(m)()
+	tr := newTracer(opts.Trace)
 
 	q := dedupConcepts(rawQuery)
 	if len(q) == 0 {
 		return nil, m, ErrEmptyQuery
 	}
+	k := opts.K
 	if k <= 0 {
 		k = 10
 	}
@@ -223,6 +228,7 @@ func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, k, wo
 		distTime time.Duration
 	}
 	chunks := make([]chunkResult, workers)
+	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
 	g, _ := pool.GroupWithContext(context.Background())
 	for w := 0; w < workers; w++ {
 		w := w
@@ -273,5 +279,7 @@ func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, k, wo
 		all = all[:k]
 	}
 	m.ResultCount = len(all)
+	tr.emit(TraceEvent{Kind: TraceWaveEnd, N: m.DocsExamined})
+	tr.emit(TraceEvent{Kind: TraceTerminate, Value: 0, N: len(all)})
 	return all, m, nil
 }

@@ -166,7 +166,7 @@ func TestParallelEquivalenceTieBreaking(t *testing.T) {
 			check(results, fmt.Sprintf("kNDS workers=%d eps=%v", w, eps))
 		}
 	}
-	scan, _, err := e.FullScanRDS(q, k, false)
+	scan, _, err := e.FullScanRDS(q, Options{K: k})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,8 +261,9 @@ func TestNormalizeWorkersDefault(t *testing.T) {
 	}
 }
 
-// TestBatchContextCancellation: a canceled context aborts the batch with
-// the context's error instead of partial results.
+// TestBatchContextCancellation: a context canceled before the batch
+// starts aborts with the context's error; the returned partial slices are
+// full length with every slot nil — nothing completed.
 func TestBatchContextCancellation(t *testing.T) {
 	pf := ontology.NewPaperFig()
 	e := memEngine(pf.O, paperCorpus(pf))
@@ -273,8 +274,70 @@ func TestBatchContextCancellation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if res != nil || mets != nil {
-		t.Fatalf("canceled batch returned partial output: %v %v", res, mets)
+	if len(res) != len(queries) || len(mets) != len(queries) {
+		t.Fatalf("partial slices have lengths %d/%d, want %d", len(res), len(mets), len(queries))
+	}
+	for i := range queries {
+		if res[i] != nil || mets[i] != nil {
+			t.Fatalf("query %d has output despite pre-cancelled context: %v %v", i, res[i], mets[i])
+		}
+	}
+}
+
+// TestBatchCancellationPreservesCompletedMetrics: when the batch is
+// cancelled mid-flight, queries that already finished keep their results
+// and a consistent Metrics; aborted and unscheduled queries have both
+// slots nil. The cancel fires from the second query's first trace event,
+// so with one scheduler worker query 0 is complete and query 2 never runs.
+func TestBatchCancellationPreservesCompletedMetrics(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	e := memEngine(pf.O, paperCorpus(pf))
+	queries := [][]ontology.ConceptID{pf.Concepts("F", "I"), pf.Concepts("I"), pf.Concepts("J")}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := 0
+	opts := Options{K: 2, ErrorThreshold: 1, Trace: func(ev TraceEvent) {
+		if ev.Kind == TraceWaveStart && ev.Wave == 0 {
+			started++
+			if started == 2 {
+				cancel() // observed at the second query's next wave boundary
+			}
+		}
+	}}
+	res, mets, err := e.BatchRDSContext(ctx, queries, opts, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) != len(queries) || len(mets) != len(queries) {
+		t.Fatalf("partial slices have lengths %d/%d, want %d", len(res), len(mets), len(queries))
+	}
+
+	// Query 0 completed before the cancel: results and metrics intact.
+	if res[0] == nil || mets[0] == nil {
+		t.Fatalf("completed query lost its output: res=%v mets=%v", res[0], mets[0])
+	}
+	if mets[0].TotalTime <= 0 || mets[0].ResultCount != len(res[0]) || mets[0].DocsExamined == 0 {
+		t.Fatalf("completed query's metrics inconsistent: %+v", mets[0])
+	}
+	want, wm, err := e.RDS(queries[0], Options{K: 2, ErrorThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res[0][i] != want[i] {
+			t.Fatalf("completed query's results drifted: %v vs %v", res[0], want)
+		}
+	}
+	if mets[0].DocsExamined != wm.DocsExamined || mets[0].TerminalEps != wm.TerminalEps {
+		t.Fatalf("completed query's metrics drifted: %+v vs %+v", mets[0], wm)
+	}
+
+	// Query 1 was aborted mid-flight, query 2 never scheduled: both nil.
+	for _, i := range []int{1, 2} {
+		if res[i] != nil || mets[i] != nil {
+			t.Fatalf("query %d should have nil output after cancellation: %v %v", i, res[i], mets[i])
+		}
 	}
 }
 
@@ -307,9 +370,9 @@ func TestFullScanParallelMatchesSerial(t *testing.T) {
 		var ref, got []Result
 		var err error
 		if sds {
-			ref, _, err = e.FullScanSDS(q, k, false)
+			ref, _, err = e.FullScanSDS(q, Options{K: k})
 		} else {
-			ref, _, err = e.FullScanRDS(q, k, false)
+			ref, _, err = e.FullScanRDS(q, Options{K: k})
 		}
 		if err != nil {
 			t.Fatal(err)

@@ -233,9 +233,15 @@ func (e *Engine) SDSContext(ctx context.Context, queryDoc []ontology.ConceptID, 
 //
 // Per-query callbacks in opts (Progressive, OnWave, OnBound) are owned by
 // the sharded engine — it installs its own merge and bound-propagation
-// hooks per shard — so caller-provided values are ignored. Workers == 0
-// means serial per shard (mirroring the batch scheduler: the shard fan-out
-// already fills the cores); set it explicitly to oversubscribe.
+// hooks per shard — so caller-provided values are ignored. Options.Trace
+// is the exception: per-shard span events are forwarded to the caller's
+// hook under a lock with TraceEvent.Shard stamped, so the hook is still
+// invoked sequentially and needs no synchronization of its own. A
+// forwarded event's At is relative to its own shard's query start; the
+// sharded engine's ShardDispatch/ShardMerge events are relative to the
+// fan-out start. Workers == 0 means serial per shard (mirroring the batch
+// scheduler: the shard fan-out already fills the cores); set it explicitly
+// to oversubscribe.
 func (e *Engine) query(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts core.Options) ([]core.Result, *Metrics, error) {
 	start := time.Now()
 	sm := &Metrics{PerShard: make([]core.Metrics, len(e.shards))}
@@ -263,15 +269,41 @@ func (e *Engine) query(ctx context.Context, sds bool, rawQuery []ontology.Concep
 	// goroutine (OnBound runs synchronously inside the shard's query).
 	selfCancelled := make([]bool, len(e.shards))
 
+	// Span events from shard goroutines and from the fan-out loop itself
+	// serialize through traceMu, preserving the sequential-delivery
+	// contract of core.TraceFunc for the caller's hook.
+	callerTrace := opts.Trace
+	var traceMu sync.Mutex
+	emit := func(ev core.TraceEvent) {
+		if callerTrace == nil {
+			return
+		}
+		traceMu.Lock()
+		callerTrace(ev)
+		traceMu.Unlock()
+	}
+
+	fanout := 0
 	g, gctx := pool.GroupWithContext(ctx)
 	for s := range e.shards {
 		s := s
 		if e.counts[s]() == 0 {
 			continue // empty shard: nothing to search, nothing to cancel
 		}
+		fanout++
 		sctx, cancel := context.WithCancel(gctx)
 		so := opts
 		so.OnWave = nil
+		so.Trace = nil
+		if callerTrace != nil {
+			emit(core.TraceEvent{Kind: core.TraceShardDispatch, At: time.Since(start), Shard: s})
+			so.Trace = func(ev core.TraceEvent) {
+				ev.Shard = s
+				traceMu.Lock()
+				callerTrace(ev)
+				traceMu.Unlock()
+			}
+		}
 		so.Progressive = func(r core.Result) {
 			// Results are provably final when emitted, so offering them as
 			// they appear keeps the merged k-th distance — the cross-shard
@@ -327,16 +359,27 @@ func (e *Engine) query(ctx context.Context, sds bool, rawQuery []ontology.Concep
 
 	results := merger.Sorted()
 	for i := range sm.PerShard {
-		addMetrics(&sm.Merged, &sm.PerShard[i])
+		mergeMetrics(&sm.Merged, &sm.PerShard[i])
 	}
 	sm.Merged.TotalTime = time.Since(start)
 	sm.Merged.ResultCount = len(results)
+	emit(core.TraceEvent{
+		Kind:  core.TraceShardMerge,
+		At:    time.Since(start),
+		Shard: -1,
+		N:     fanout,
+		Value: float64(sm.CancelledShards),
+	})
 	return results, sm, nil
 }
 
-// addMetrics accumulates src's counters and component times into dst.
-// TotalTime and ResultCount are owned by the caller.
-func addMetrics(dst, src *core.Metrics) {
+// mergeMetrics accumulates src into dst: counters and component times sum;
+// TerminalEps merges by max — the merged result is only as tight as the
+// loosest shard's stopping point. TotalTime and ResultCount are owned by
+// the caller (shards overlap, so their sums are meaningless). A
+// reflection-based test (TestMergeMetricsCoversAllFields) fails when a new
+// core.Metrics field is added without a merge rule here.
+func mergeMetrics(dst, src *core.Metrics) {
 	dst.TraversalTime += src.TraversalTime
 	dst.DistanceTime += src.DistanceTime
 	dst.IOTime += src.IOTime
@@ -347,4 +390,7 @@ func addMetrics(dst, src *core.Metrics) {
 	dst.DRCCalls += src.DRCCalls
 	dst.ForcedExams += src.ForcedExams
 	dst.SpeculativeDRC += src.SpeculativeDRC
+	if src.TerminalEps > dst.TerminalEps {
+		dst.TerminalEps = src.TerminalEps
+	}
 }

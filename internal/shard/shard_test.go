@@ -110,6 +110,11 @@ func TestShardedEquivalenceGrid(t *testing.T) {
 					for _, w := range []int{1, 4} {
 						so := opts
 						so.Workers = w
+						// The grid runs traced: tracing must never perturb
+						// the sharded/single equivalence, and the -race CI
+						// matrix holds the forwarding lock to account.
+						traced := 0
+						so.Trace = func(core.TraceEvent) { traced++ }
 						var got []core.Result
 						var sm *Metrics
 						if sds {
@@ -124,6 +129,9 @@ func TestShardedEquivalenceGrid(t *testing.T) {
 						assertIdentical(t, label, want, got)
 						if sm.Merged.ResultCount != len(got) {
 							t.Fatalf("%s: merged ResultCount %d != %d", label, sm.Merged.ResultCount, len(got))
+						}
+						if traced == 0 {
+							t.Fatalf("%s: no trace events delivered", label)
 						}
 					}
 					if err := se.Close(); err != nil {

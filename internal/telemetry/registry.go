@@ -1,0 +1,319 @@
+// Package telemetry is the zero-dependency observability layer of the
+// kNDS stack: a runtime metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus-text and expvar-style JSON exposition, a
+// per-query span recorder feeding a "last N slow queries" ring buffer, and
+// a live introspection HTTP server (/metrics, /debug/vars, /debug/pprof/*,
+// /debug/slowlog). Everything is stdlib-only and safe for concurrent use;
+// recording a sample is a handful of atomic operations, so instrumented
+// engines stay cheap (EXPERIMENTS.md records the measured overhead).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is the exposition contract shared by all instrument types.
+type metric interface {
+	// writeProm appends the metric's full Prometheus text exposition
+	// (HELP/TYPE header plus sample lines) for the given name.
+	writeProm(b *strings.Builder, name, help string)
+	// jsonValue returns the metric's expvar-style JSON encoding.
+	jsonValue() string
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) writeProm(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
+}
+
+func (c *Counter) jsonValue() string { return strconv.FormatInt(c.Value(), 10) }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add applies a delta with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) writeProm(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(g.Value()))
+}
+
+func (g *Gauge) jsonValue() string { return formatFloat(g.Value()) }
+
+// gaugeFunc samples a callback at exposition time — for values the runtime
+// already tracks (goroutine count, heap size) that would be wasteful to
+// mirror on every change.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+func (g *gaugeFunc) writeProm(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(g.fn()))
+}
+
+func (g *gaugeFunc) jsonValue() string { return formatFloat(g.fn()) }
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds in
+// ascending order; an implicit +Inf bucket catches the tail. Observe is a
+// linear scan over at most a few dozen bounds plus three atomic adds — no
+// locks on the hot path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) assuming samples sit at
+// their bucket's upper bound — the same estimate Prometheus's
+// histogram_quantile produces. Returns NaN with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1) // tail bucket: no finite upper bound
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *Histogram) writeProm(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+}
+
+func (h *Histogram) jsonValue() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"count\":%d,\"sum\":%s,\"buckets\":{", h.Count(), formatFloat(h.Sum()))
+	var cum int64
+	for i, bound := range h.bounds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		cum += h.counts[i].Load()
+		fmt.Fprintf(&b, "%q:%d", formatFloat(bound), cum)
+	}
+	if len(h.bounds) > 0 {
+		b.WriteByte(',')
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(&b, "\"+Inf\":%d}}", cum)
+	return b.String()
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest exact
+// decimal, no exponent for typical magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Registry holds named metrics. Registration is idempotent per (name,
+// type): asking for an existing name returns the existing instrument, so
+// independent components can share one registry without coordination.
+// Registering a name twice with different types panics — that is a wiring
+// bug, not a runtime condition.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	ordered []*entry // sorted by name, rebuilt lazily
+	dirty   bool
+}
+
+type entry struct {
+	name, help string
+	m          metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*entry{}}
+}
+
+func (r *Registry) register(name, help string, mk func() metric) metric {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		return e.m
+	}
+	e := &entry{name: name, help: help, m: mk()}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	r.dirty = true
+	return e.m
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.register(name, help, func() metric { return &gaugeFunc{fn: fn} })
+	if _, ok := m.(*gaugeFunc); !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
+	}
+}
+
+// Histogram registers (or fetches) a histogram with the given ascending
+// bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, func() metric { return newHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
+	}
+	return h
+}
+
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dirty {
+		sort.Slice(r.ordered, func(i, j int) bool { return r.ordered[i].name < r.ordered[j].name })
+		r.dirty = false
+	}
+	return append([]*entry(nil), r.ordered...)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, e := range r.snapshot() {
+		e.m.writeProm(&b, e.name, e.help)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON writes every metric as one flat JSON object in the style of
+// expvar's /debug/vars: scalar values for counters and gauges, a
+// {count, sum, buckets} object for histograms.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, e := range r.snapshot() {
+		if i > 0 {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%q: %s", e.name, e.m.jsonValue())
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

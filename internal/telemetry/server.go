@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the introspection mux:
+//
+//	/metrics        Prometheus text exposition of the sink's registry
+//	/debug/vars     the same metrics as one flat JSON object (expvar style)
+//	/debug/slowlog  the last N slow/failed queries with their span events
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Everything is read-only; mount it on a loopback or otherwise trusted
+// listener — pprof exposes process internals.
+func (s *Sink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.Slow.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "conceptrank telemetry\n\n"+
+			"/metrics        Prometheus exposition\n"+
+			"/debug/vars     JSON metrics snapshot\n"+
+			"/debug/slowlog  recent slow queries with span events\n"+
+			"/debug/pprof/   runtime profiles\n")
+	})
+	return mux
+}
+
+// Serve binds addr and serves Handler in a background goroutine. The
+// returned server's Addr field holds the bound address (useful with
+// ":0"); shut it down with (*http.Server).Close. The listener error path
+// is synchronous — an unbindable addr is reported here, not later.
+func (s *Sink) Serve(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"conceptrank/internal/core"
+)
+
+func testSink(threshold time.Duration) *Sink {
+	return New(Config{SlowThreshold: threshold, SlowCapacity: 4, SlowMaxEvents: 8})
+}
+
+// fakeQuery drives a recording the way the facade does: emit a few span
+// events, then finish with the given metrics and error.
+func fakeQuery(s *Sink, kind string, total time.Duration, err error, events int) {
+	trace, done := s.Query(kind, nil)
+	for i := 0; i < events; i++ {
+		trace(core.TraceEvent{Kind: core.TraceDRCProbe, N: 1, Shard: -1})
+	}
+	trace(core.TraceEvent{Kind: core.TraceTerminate, Value: 0.25, N: 3, Shard: -1})
+	m := &core.Metrics{TotalTime: total, Iterations: 2, DRCCalls: events, DocsExamined: events, TerminalEps: 0.25, ResultCount: 3}
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	done(m, nil)
+}
+
+func TestSinkObservesQueries(t *testing.T) {
+	s := testSink(time.Hour) // nothing is slow
+	fakeQuery(s, "rds", time.Millisecond, nil, 5)
+	fakeQuery(s, "rds", 2*time.Millisecond, nil, 7)
+	fakeQuery(s, "rds", 0, errors.New("boom"), 0)
+
+	if got := s.Stats.Queries.Value(); got != 3 {
+		t.Fatalf("queries = %d, want 3", got)
+	}
+	if got := s.Stats.Errors.Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+	if got := s.Stats.Latency.Count(); got != 2 {
+		t.Fatalf("latency samples = %d, want 2 (failed query had nil metrics)", got)
+	}
+	if got := s.Stats.TraceEvents.Value(); got != 6+8+1 {
+		t.Fatalf("trace events = %d, want 15", got)
+	}
+	if got := s.Stats.TerminalEps.Count(); got != 2 {
+		t.Fatalf("terminal eps samples = %d, want 2", got)
+	}
+	// Failed queries enter the slow log regardless of latency.
+	entries := s.Slow.Snapshot()
+	if len(entries) != 1 || entries[0].Err == "" {
+		t.Fatalf("slow log = %+v, want just the failed query", entries)
+	}
+}
+
+func TestSinkSlowLogThresholdAndRing(t *testing.T) {
+	s := testSink(10 * time.Millisecond)
+	fakeQuery(s, "fast", time.Millisecond, nil, 1) // below threshold: not logged
+	for i := 0; i < 6; i++ {                       // capacity 4: oldest two evicted
+		fakeQuery(s, "slow", 20*time.Millisecond, nil, 2)
+	}
+	entries := s.Slow.Snapshot()
+	if len(entries) != 4 {
+		t.Fatalf("slow log has %d entries, want capacity 4", len(entries))
+	}
+	for _, e := range entries {
+		if e.Kind != "slow" || e.Latency != 20*time.Millisecond {
+			t.Fatalf("unexpected entry: %+v", e)
+		}
+		if len(e.Events) != 3 { // 2 probes + terminate
+			t.Fatalf("entry kept %d events, want 3", len(e.Events))
+		}
+		if e.Events[len(e.Events)-1].Kind != "Terminate" {
+			t.Fatalf("events not stringified: %+v", e.Events)
+		}
+	}
+}
+
+func TestSinkEventCapIsRecorded(t *testing.T) {
+	s := testSink(time.Nanosecond) // everything is slow
+	fakeQuery(s, "big", time.Second, nil, 20)
+	e := s.Slow.Snapshot()[0]
+	if len(e.Events) != 8 {
+		t.Fatalf("kept %d events, want cap 8", len(e.Events))
+	}
+	if e.TruncatedEvents != 21-8 {
+		t.Fatalf("truncated = %d, want 13", e.TruncatedEvents)
+	}
+}
+
+func TestSinkFanoutFromShardMerge(t *testing.T) {
+	s := testSink(time.Hour)
+	trace, done := s.Query("sharded_rds", nil)
+	trace(core.TraceEvent{Kind: core.TraceShardDispatch, Shard: 0})
+	trace(core.TraceEvent{Kind: core.TraceShardDispatch, Shard: 1})
+	trace(core.TraceEvent{Kind: core.TraceShardMerge, N: 2, Shard: -1})
+	done(&core.Metrics{TotalTime: time.Millisecond}, nil)
+	if got := s.Stats.ShardFanout.Count(); got != 1 {
+		t.Fatalf("fanout samples = %d, want 1", got)
+	}
+	if got := s.Stats.ShardFanout.Sum(); got != 2 {
+		t.Fatalf("fanout sum = %v, want 2", got)
+	}
+}
+
+func TestSinkChainsCallerHook(t *testing.T) {
+	s := testSink(time.Hour)
+	var seen []core.TraceKind
+	trace, done := s.Query("rds", func(ev core.TraceEvent) { seen = append(seen, ev.Kind) })
+	trace(core.TraceEvent{Kind: core.TraceWaveStart})
+	trace(core.TraceEvent{Kind: core.TraceTerminate})
+	done(&core.Metrics{}, nil)
+	if len(seen) != 2 || seen[0] != core.TraceWaveStart || seen[1] != core.TraceTerminate {
+		t.Fatalf("caller hook saw %v", seen)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	s := testSink(time.Nanosecond)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// /metrics before any query: instruments exist at zero.
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "conceptrank_queries_total 0") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+
+	// The acceptance check: counters and histograms change across queries.
+	fakeQuery(s, "rds", 3*time.Millisecond, nil, 4)
+	fakeQuery(s, "rds", 5*time.Millisecond, nil, 4)
+	_, body = get("/metrics")
+	for _, want := range []string{
+		"conceptrank_queries_total 2",
+		"conceptrank_query_latency_seconds_count 2",
+		"conceptrank_query_terminal_epsilon_count 2",
+		"# TYPE conceptrank_query_latency_seconds histogram",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q after queries:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/vars")
+	var vars map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &vars) != nil {
+		t.Fatalf("/debug/vars: %d\n%s", code, body)
+	}
+	if vars["conceptrank_queries_total"].(float64) != 2 {
+		t.Fatalf("/debug/vars counter: %v", vars["conceptrank_queries_total"])
+	}
+
+	code, body = get("/debug/slowlog")
+	var slow struct {
+		Entries []SlowEntry `json:"entries"`
+	}
+	if code != 200 || json.Unmarshal([]byte(body), &slow) != nil {
+		t.Fatalf("/debug/slowlog: %d\n%s", code, body)
+	}
+	if len(slow.Entries) != 2 {
+		t.Fatalf("slowlog entries = %d, want 2 (threshold 0)", len(slow.Entries))
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, _ := get("/"); code != 200 {
+		t.Fatalf("index: %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path: %d, want 404", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	s := testSink(time.Nanosecond)
+	srv, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := s.Serve(srv.Addr); err == nil {
+		t.Fatal("binding the same address twice must fail synchronously")
+	}
+}

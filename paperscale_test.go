@@ -57,7 +57,7 @@ func TestPaperScaleSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scan, bm, err := env.Radio.Engine.FullScanRDS(q, 10, false)
+	scan, bm, err := env.Radio.Engine.FullScanRDS(q, core.Options{K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,9 @@ package conceptrank
 import (
 	"context"
 
+	"conceptrank/internal/core"
 	"conceptrank/internal/shard"
+	"conceptrank/internal/telemetry"
 )
 
 // Sharded execution: the collection is partitioned across N per-shard kNDS
@@ -46,6 +48,23 @@ type ShardedMetrics = shard.Metrics
 // Engine over the union collection.
 type ShardedEngine struct {
 	inner *shard.Engine
+	tel   *telemetry.Sink
+}
+
+// EnableTelemetry attaches sink to the sharded engine: queries record
+// into the sink's registry under the "sharded_rds"/"sharded_sds" kinds,
+// including the shard fan-out width, and slow or failed queries land in
+// the slow log with their forwarded per-shard span events. Pass nil to
+// detach. Not safe to call concurrently with queries.
+func (e *ShardedEngine) EnableTelemetry(sink *Telemetry) { e.tel = sink }
+
+func (e *ShardedEngine) instrument(kind string, opts *Options) func(*core.Metrics, error) {
+	if e.tel == nil {
+		return nil
+	}
+	trace, done := e.tel.Query(kind, opts.Trace)
+	opts.Trace = trace
+	return done
 }
 
 // NewShardedEngine partitions coll per cfg and indexes every shard in
@@ -87,27 +106,46 @@ func (e *ShardedEngine) Close() error { return e.inner.Close() }
 
 // RDS returns the k documents most relevant to the query concepts,
 // searched across all shards concurrently. Options.Workers == 0 means
-// serial per shard (the fan-out already fills the cores); per-query
-// callbacks in Options are used internally by the merge and are ignored.
+// serial per shard (the fan-out already fills the cores). Progressive,
+// OnWave and OnBound are used internally by the merge and are ignored;
+// Options.Trace is honored — per-shard span events are forwarded to it
+// sequentially with TraceEvent.Shard stamped.
 func (e *ShardedEngine) RDS(query []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
-	return e.inner.RDS(query, opts)
+	return e.RDSContext(context.Background(), query, opts)
 }
 
 // SDS returns the k documents most similar to the query document's
 // concept set, searched across all shards concurrently.
 func (e *ShardedEngine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
-	return e.inner.SDS(queryDoc, opts)
+	return e.SDSContext(context.Background(), queryDoc, opts)
 }
 
 // RDSContext is RDS under a caller context: cancellation propagates to
 // every shard and is observed at their wave boundaries.
 func (e *ShardedEngine) RDSContext(ctx context.Context, query []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
-	return e.inner.RDSContext(ctx, query, opts)
+	done := e.instrument("sharded_rds", &opts)
+	res, sm, err := e.inner.RDSContext(ctx, query, opts)
+	if done != nil {
+		done(shardedMerged(sm), err)
+	}
+	return res, sm, err
 }
 
 // SDSContext is SDS under a caller context.
 func (e *ShardedEngine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
-	return e.inner.SDSContext(ctx, queryDoc, opts)
+	done := e.instrument("sharded_sds", &opts)
+	res, sm, err := e.inner.SDSContext(ctx, queryDoc, opts)
+	if done != nil {
+		done(shardedMerged(sm), err)
+	}
+	return res, sm, err
+}
+
+func shardedMerged(sm *ShardedMetrics) *core.Metrics {
+	if sm == nil {
+		return nil
+	}
+	return &sm.Merged
 }
 
 // DynamicShardedEngine is a growable ShardedEngine: AddDocument routes
