@@ -2,13 +2,22 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-shard bench-trace experiments serve-demo
+.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor experiments serve-demo
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always; staticcheck when it is on PATH (CI installs
+# it, local machines may not have it — we never install on the fly).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -32,6 +41,11 @@ bench-shard:
 bench-trace:
 	$(GO) run ./cmd/crbench -scale small -exp telemetry
 	$(GO) test -run=NONE -bench=BenchmarkTrace -benchtime=100x ./internal/core/
+
+# Cursor resume cost: one-shot pipeline latency plus GrowK-resume vs a
+# fresh requery at the larger k (EXPERIMENTS.md, "Cursor resume").
+bench-cursor:
+	$(GO) run ./cmd/crbench -scale small -exp cursor
 
 # Regenerate the EXPERIMENTS.md tables at laptop scale.
 experiments:

@@ -6,9 +6,15 @@
 //	crsearch -data data -corpus RADIO -type rds -query "term one,term two" -k 10
 //	crsearch -data data -corpus PATIENT -type sds -doc 17 -k 5
 //	crsearch -data data -corpus RADIO -type rds -ids 120,4711 -eps 0.9
+//	crsearch -data data -corpus RADIO -type rds -ids 120 -k 50 -page 10
+//
+// -page N streams the top -k through a resumable cursor, N results at a
+// time: each page resumes the saved traversal rather than re-running the
+// query, and the concatenated pages equal the one-shot ranking exactly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +39,7 @@ func main() {
 		eps       = flag.Float64("eps", 0.5, "kNDS error threshold")
 		workers   = flag.Int("workers", 0, "intra-query DRC workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		baseline  = flag.Bool("baseline", false, "also run the full-scan baseline and compare")
+		page      = flag.Int("page", 0, "page size: stream the top -k through a resumable cursor, -page results at a time (0 = one-shot)")
 		shards    = flag.Int("shards", 1, "partition the collection across N parallel engines (results identical)")
 		placement = flag.String("placement", "round-robin", "shard placement policy: round-robin or size-balanced")
 		listen    = flag.String("listen", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; keeps running after the query")
@@ -103,7 +110,9 @@ func main() {
 	sds := strings.ToLower(*queryType) == "sds"
 	var results []conceptrank.Result
 	var m *conceptrank.Metrics
-	if *shards > 1 {
+	if *page > 0 {
+		results, m = runPaged(o, coll, eng, tel, sds, concepts, opts, *page, *shards, *placement)
+	} else if *shards > 1 {
 		pl, perr := conceptrank.ParseShardPlacement(*placement)
 		if perr != nil {
 			log.Fatal(perr)
@@ -137,8 +146,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range results {
-		fmt.Printf("%2d. doc %-6d %-24s distance %.4f\n", i+1, r.Doc, coll.Doc(r.Doc).Name, r.Distance)
+	if *page == 0 { // paged mode already printed page-delimited results
+		for i, r := range results {
+			fmt.Printf("%2d. doc %-6d %-24s distance %.4f\n", i+1, r.Doc, coll.Doc(r.Doc).Name, r.Distance)
+		}
 	}
 	fmt.Printf("\nkNDS: %v total (%v distance calc, %v traversal, %v io); examined %d of %d discovered; %d DRC calls",
 		m.TotalTime.Round(1000), m.DistanceTime.Round(1000), m.TraversalTime.Round(1000), m.IOTime.Round(1000),
@@ -172,6 +183,79 @@ func main() {
 		fmt.Println("query done; introspection server still running (ctrl-c to exit)")
 		select {}
 	}
+}
+
+// runPaged streams the top k through a resumable cursor, page results at a
+// time: each Next resumes the saved traversal state and grows the ranking
+// in place, so the concatenated pages are exactly the one-shot top-k. The
+// cursor is opened with K = page; later pages extend it via the cursor's
+// auto-grow rather than re-running the query.
+func runPaged(o *conceptrank.Ontology, coll *conceptrank.Collection, eng *conceptrank.Engine, tel *conceptrank.Telemetry, sds bool, concepts []conceptrank.ConceptID, opts conceptrank.Options, page, shards int, placement string) ([]conceptrank.Result, *conceptrank.Metrics) {
+	k := opts.K
+	opts.K = page
+	var (
+		next    func(context.Context, int) ([]conceptrank.Result, error)
+		metrics func() *conceptrank.Metrics
+		closeFn func()
+	)
+	if shards > 1 {
+		pl, err := conceptrank.ParseShardPlacement(placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seng, err := conceptrank.NewShardedEngine(o, coll, conceptrank.ShardConfig{Shards: shards, Placement: pl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seng.EnableTelemetry(tel)
+		open := seng.OpenRDS
+		if sds {
+			open = seng.OpenSDS
+		}
+		cur, err := open(concepts, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		next, closeFn = cur.Next, func() { cur.Close() }
+		metrics = func() *conceptrank.Metrics { return &cur.Metrics().Merged }
+		fmt.Printf("sharded: %d shards (%s), paged by %d\n", seng.NumShards(), pl, page)
+	} else {
+		open := eng.OpenRDS
+		if sds {
+			open = eng.OpenSDS
+		}
+		cur, err := open(concepts, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		next, closeFn = cur.Next, func() { cur.Close() }
+		metrics = cur.Metrics
+	}
+	defer closeFn()
+
+	ctx := context.Background()
+	var results []conceptrank.Result
+	for pageNo := 1; len(results) < k; pageNo++ {
+		n := page
+		if rem := k - len(results); rem < n {
+			n = rem
+		}
+		res, err := next(ctx, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res) == 0 {
+			fmt.Printf("-- ranking drained after %d results --\n", len(results))
+			break
+		}
+		fmt.Printf("-- page %d --\n", pageNo)
+		for i, r := range res {
+			fmt.Printf("%2d. doc %-6d %-24s distance %.4f\n",
+				len(results)+i+1, r.Doc, coll.Doc(r.Doc).Name, r.Distance)
+		}
+		results = append(results, res...)
+	}
+	return results, metrics()
 }
 
 func splitNonEmpty(s string) []string {

@@ -11,9 +11,21 @@
 //	curl 'localhost:6060/search?type=rds&ids=42,99&k=10&eps=0.5'
 //	curl localhost:6060/metrics
 //	curl localhost:6060/debug/slowlog
+//
+// Paged search keeps a resumable cursor open server-side: page=N returns
+// the first N results plus a resume token, and cursor=TOK&n=N fetches
+// subsequent pages — each growing the saved top-k ranking in place rather
+// than re-running the query:
+//
+//	curl 'localhost:6060/search?type=rds&ids=42,99&page=10'
+//	curl 'localhost:6060/search?cursor=c1&n=10'
+//
+// The response's "done" field marks a drained ranking. Idle cursors expire
+// after five minutes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +37,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"conceptrank"
@@ -32,12 +45,21 @@ import (
 
 // searcher is the slice of the engine surface the server needs; both
 // Engine and ShardedEngine satisfy it via small adapters (their metrics
-// types differ).
+// and cursor types differ).
 type searcher interface {
 	rds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error)
 	sds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error)
+	openRDS(q []conceptrank.ConceptID, opts conceptrank.Options) (pager, error)
+	openSDS(q []conceptrank.ConceptID, opts conceptrank.Options) (pager, error)
 	numDocs() int
 	docConcepts(id conceptrank.DocID) []conceptrank.ConceptID
+}
+
+// pager is the common paging surface of Cursor and ShardedCursor.
+type pager interface {
+	next(ctx context.Context, n int) ([]conceptrank.Result, error)
+	metrics() *conceptrank.Metrics
+	close()
 }
 
 func main() {
@@ -85,10 +107,13 @@ func main() {
 		s = &singleSearcher{eng: eng, coll: coll}
 	}
 
+	store := newCursorStore(256)
+	go store.sweep(5 * time.Minute)
+
 	mux := http.NewServeMux()
 	mux.Handle("/", tel.Handler())
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		serveSearch(w, r, o, s)
+		serveSearch(w, r, o, s, store)
 	})
 
 	if *demo > 0 {
@@ -137,10 +162,32 @@ func (s *singleSearcher) rds(q []conceptrank.ConceptID, opts conceptrank.Options
 func (s *singleSearcher) sds(q []conceptrank.ConceptID, opts conceptrank.Options) ([]conceptrank.Result, *conceptrank.Metrics, error) {
 	return s.eng.SDS(q, opts)
 }
+func (s *singleSearcher) openRDS(q []conceptrank.ConceptID, opts conceptrank.Options) (pager, error) {
+	c, err := s.eng.OpenRDS(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &singlePager{c}, nil
+}
+func (s *singleSearcher) openSDS(q []conceptrank.ConceptID, opts conceptrank.Options) (pager, error) {
+	c, err := s.eng.OpenSDS(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &singlePager{c}, nil
+}
 func (s *singleSearcher) numDocs() int { return s.coll.NumDocs() }
 func (s *singleSearcher) docConcepts(id conceptrank.DocID) []conceptrank.ConceptID {
 	return s.coll.Doc(id).Concepts
 }
+
+type singlePager struct{ c *conceptrank.Cursor }
+
+func (p *singlePager) next(ctx context.Context, n int) ([]conceptrank.Result, error) {
+	return p.c.Next(ctx, n)
+}
+func (p *singlePager) metrics() *conceptrank.Metrics { return p.c.Metrics() }
+func (p *singlePager) close()                        { _ = p.c.Close() }
 
 type shardedSearcher struct {
 	eng  *conceptrank.ShardedEngine
@@ -155,10 +202,32 @@ func (s *shardedSearcher) sds(q []conceptrank.ConceptID, opts conceptrank.Option
 	res, sm, err := s.eng.SDS(q, opts)
 	return res, shardedMetrics(sm), err
 }
+func (s *shardedSearcher) openRDS(q []conceptrank.ConceptID, opts conceptrank.Options) (pager, error) {
+	c, err := s.eng.OpenRDS(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &shardedPager{c}, nil
+}
+func (s *shardedSearcher) openSDS(q []conceptrank.ConceptID, opts conceptrank.Options) (pager, error) {
+	c, err := s.eng.OpenSDS(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &shardedPager{c}, nil
+}
 func (s *shardedSearcher) numDocs() int { return s.eng.NumDocs() }
 func (s *shardedSearcher) docConcepts(id conceptrank.DocID) []conceptrank.ConceptID {
 	return s.coll.Doc(id).Concepts
 }
+
+type shardedPager struct{ c *conceptrank.ShardedCursor }
+
+func (p *shardedPager) next(ctx context.Context, n int) ([]conceptrank.Result, error) {
+	return p.c.Next(ctx, n)
+}
+func (p *shardedPager) metrics() *conceptrank.Metrics { return &p.c.Metrics().Merged }
+func (p *shardedPager) close()                        { _ = p.c.Close() }
 
 func shardedMetrics(sm *conceptrank.ShardedMetrics) *conceptrank.Metrics {
 	if sm == nil {
@@ -170,6 +239,13 @@ func shardedMetrics(sm *conceptrank.ShardedMetrics) *conceptrank.Metrics {
 type searchResponse struct {
 	Results []searchResult       `json:"results"`
 	Metrics *conceptrank.Metrics `json:"metrics"`
+	// Cursor is the resume token of a paged search: pass it back as
+	// /search?cursor=TOK&n=N to fetch the next page. Omitted once the
+	// ranking is drained.
+	Cursor string `json:"cursor,omitempty"`
+	// Done marks a drained paged search: the collection holds no more
+	// rankable documents for this query.
+	Done bool `json:"done,omitempty"`
 }
 
 type searchResult struct {
@@ -177,8 +253,116 @@ type searchResult struct {
 	Distance float64 `json:"distance"`
 }
 
-func serveSearch(w http.ResponseWriter, r *http.Request, o *conceptrank.Ontology, s searcher) {
+// cursorStore keeps open cursors between paged /search requests, keyed by
+// an opaque token. Cursors idle past the TTL are swept; the oldest cursor
+// is evicted when the store is full (the engine holds per-cursor traversal
+// state, so the cap bounds server memory).
+type cursorStore struct {
+	mu      sync.Mutex
+	seq     int64
+	cursors map[string]*storedCursor
+	cap     int
+}
+
+type storedCursor struct {
+	p        pager
+	lastUsed time.Time
+}
+
+func newCursorStore(capacity int) *cursorStore {
+	return &cursorStore{cursors: make(map[string]*storedCursor), cap: capacity}
+}
+
+func (cs *cursorStore) put(p pager) string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.cursors) >= cs.cap {
+		oldTok, oldAt := "", time.Time{}
+		for tok, sc := range cs.cursors {
+			if oldTok == "" || sc.lastUsed.Before(oldAt) {
+				oldTok, oldAt = tok, sc.lastUsed
+			}
+		}
+		cs.cursors[oldTok].p.close()
+		delete(cs.cursors, oldTok)
+	}
+	cs.seq++
+	tok := "c" + strconv.FormatInt(cs.seq, 36)
+	cs.cursors[tok] = &storedCursor{p: p, lastUsed: time.Now()}
+	return tok
+}
+
+// take removes the cursor from the store for the duration of one page
+// fetch, so concurrent requests for the same token cannot interleave
+// Next calls mid-flight; the caller puts it back with release.
+func (cs *cursorStore) take(tok string) (pager, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	sc, ok := cs.cursors[tok]
+	if !ok {
+		return nil, false
+	}
+	delete(cs.cursors, tok)
+	return sc.p, true
+}
+
+func (cs *cursorStore) release(tok string, p pager) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.cursors[tok] = &storedCursor{p: p, lastUsed: time.Now()}
+}
+
+func (cs *cursorStore) sweep(ttl time.Duration) {
+	for range time.Tick(ttl / 4) {
+		cutoff := time.Now().Add(-ttl)
+		cs.mu.Lock()
+		for tok, sc := range cs.cursors {
+			if sc.lastUsed.Before(cutoff) {
+				sc.p.close()
+				delete(cs.cursors, tok)
+			}
+		}
+		cs.mu.Unlock()
+	}
+}
+
+func serveSearch(w http.ResponseWriter, r *http.Request, o *conceptrank.Ontology, s searcher, store *cursorStore) {
 	qp := r.URL.Query()
+
+	// Resume a paged search: /search?cursor=TOK&n=N.
+	if tok := qp.Get("cursor"); tok != "" {
+		n := 10
+		if v := qp.Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 1 {
+				httpError(w, http.StatusBadRequest, "bad n %q", v)
+				return
+			}
+			n = parsed
+		}
+		p, ok := store.take(tok)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown or expired cursor %q", tok)
+			return
+		}
+		page, err := p.next(r.Context(), n)
+		if err != nil {
+			store.release(tok, p) // context errors are resumable; keep the state
+			httpError(w, http.StatusInternalServerError, "page failed: %v", err)
+			return
+		}
+		resp := searchResponse{Metrics: p.metrics()}
+		if len(page) < n {
+			resp.Done = true
+			p.close()
+		} else {
+			resp.Cursor = tok
+			store.release(tok, p)
+		}
+		writeSearchResponse(w, resp, page)
+		return
+	}
+
 	opts := conceptrank.Options{K: 10, ErrorThreshold: 0.5}
 	if v := qp.Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -205,14 +389,25 @@ func serveSearch(w http.ResponseWriter, r *http.Request, o *conceptrank.Ontology
 		opts.Workers = n
 	}
 
+	// page=N starts a paged search: the first N results come back with a
+	// resume token for /search?cursor=TOK&n=N.
+	pageSize := 0
+	if v := qp.Get("page"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad page %q", v)
+			return
+		}
+		pageSize = n
+		opts.K = n
+	}
+
 	var (
-		results []conceptrank.Result
-		m       *conceptrank.Metrics
-		err     error
+		q   []conceptrank.ConceptID
+		sds bool
 	)
 	switch typ := qp.Get("type"); typ {
 	case "", "rds":
-		var ids []conceptrank.ConceptID
 		for _, part := range strings.Split(qp.Get("ids"), ",") {
 			part = strings.TrimSpace(part)
 			if part == "" {
@@ -223,30 +418,70 @@ func serveSearch(w http.ResponseWriter, r *http.Request, o *conceptrank.Ontology
 				httpError(w, http.StatusBadRequest, "bad concept ID %q", part)
 				return
 			}
-			ids = append(ids, conceptrank.ConceptID(n))
+			q = append(q, conceptrank.ConceptID(n))
 		}
-		if len(ids) == 0 {
+		if len(q) == 0 {
 			httpError(w, http.StatusBadRequest, "rds needs ids=1,2,...")
 			return
 		}
-		results, m, err = s.rds(ids, opts)
 	case "sds":
 		doc, perr := strconv.Atoi(qp.Get("doc"))
 		if perr != nil || doc < 0 || doc >= s.numDocs() {
 			httpError(w, http.StatusBadRequest, "sds needs doc in [0,%d)", s.numDocs())
 			return
 		}
-		results, m, err = s.sds(s.docConcepts(conceptrank.DocID(doc)), opts)
+		q, sds = s.docConcepts(conceptrank.DocID(doc)), true
 	default:
 		httpError(w, http.StatusBadRequest, "unknown type %q (want rds or sds)", typ)
 		return
+	}
+
+	if pageSize > 0 {
+		open := s.openRDS
+		if sds {
+			open = s.openSDS
+		}
+		p, err := open(q, opts)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "query failed: %v", err)
+			return
+		}
+		page, err := p.next(r.Context(), pageSize)
+		if err != nil {
+			p.close()
+			httpError(w, http.StatusInternalServerError, "query failed: %v", err)
+			return
+		}
+		resp := searchResponse{Metrics: p.metrics()}
+		if len(page) < pageSize {
+			resp.Done = true
+			p.close()
+		} else {
+			resp.Cursor = store.put(p)
+		}
+		writeSearchResponse(w, resp, page)
+		return
+	}
+
+	var (
+		results []conceptrank.Result
+		m       *conceptrank.Metrics
+		err     error
+	)
+	if sds {
+		results, m, err = s.sds(q, opts)
+	} else {
+		results, m, err = s.rds(q, opts)
 	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
 	}
+	writeSearchResponse(w, searchResponse{Metrics: m}, results)
+}
 
-	resp := searchResponse{Results: make([]searchResult, len(results)), Metrics: m}
+func writeSearchResponse(w http.ResponseWriter, resp searchResponse, results []conceptrank.Result) {
+	resp.Results = make([]searchResult, len(results))
 	for i, res := range results {
 		resp.Results[i] = searchResult{Doc: int(res.Doc), Distance: res.Distance}
 	}

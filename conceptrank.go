@@ -77,6 +77,21 @@ type (
 	// intra-query Workers — see the Parallel execution section of
 	// DESIGN.md; results are identical at every Workers setting).
 	Options = core.Options
+	// Cursor is a resumable, steppable kNDS query: open with
+	// Engine.OpenRDS/OpenSDS, page with Next, extend the ranking with
+	// GrowK (bitwise identical to a fresh larger-k query), Close when
+	// done. See DESIGN.md, "Query pipeline".
+	Cursor = core.Cursor
+	// Batch schedules many queries over per-query cursors; a cancelled
+	// Run keeps each unfinished query's pipeline state and the next Run
+	// resumes it. Construct with Engine.NewBatchRDS/NewBatchSDS.
+	Batch = core.Batch
+	// ExamPolicy is the pluggable examination-decision stage of the query
+	// pipeline (Options.ExamPolicy); nil selects the paper's threshold
+	// rule. Custom policies must be deterministic.
+	ExamPolicy = core.ExamPolicy
+	// ExamDecision is the evidence an ExamPolicy decides on.
+	ExamDecision = core.ExamDecision
 	// Option is a functional query option (WithK, WithEpsilon, WithWorkers,
 	// WithQueueLimit, WithTrace) applied over Options.
 	Option = core.Option
@@ -139,6 +154,14 @@ const (
 	TraceShardDispatch = core.TraceShardDispatch
 	TraceShardMerge    = core.TraceShardMerge
 )
+
+// ThresholdPolicy returns the paper's default examination policy: examine
+// while the Eq. 9 error estimate is within eps, unconditionally on forced
+// examinations and at traversal exhaustion.
+func ThresholdPolicy(eps float64) ExamPolicy { return core.ThresholdPolicy(eps) }
+
+// ErrCursorClosed is returned by operations on a closed Cursor.
+var ErrCursorClosed = core.ErrCursorClosed
 
 // NewTelemetry builds a telemetry sink. Share one sink across the engines
 // of a process (or give each engine its own Prefix) and mount its Handler
@@ -450,6 +473,36 @@ func (e *Engine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Opti
 		done(m, err)
 	}
 	return res, m, err
+}
+
+// OpenRDS plans a relevant-document query and returns a resumable cursor:
+// page through the ranking with Next, extend it with GrowK (results are
+// bitwise identical to a fresh query with the larger k), cancel and retry
+// at wave boundaries via contexts. Close the cursor when done. Cursor
+// queries are not per-query telemetry-recorded (like the batch entry
+// points); install Options.Trace for span-level observation.
+func (e *Engine) OpenRDS(query []ConceptID, opts Options) (*Cursor, error) {
+	return e.inner.OpenRDS(query, opts)
+}
+
+// OpenSDS plans a similar-document query as a resumable cursor; see
+// OpenRDS.
+func (e *Engine) OpenSDS(queryDoc []ConceptID, opts Options) (*Cursor, error) {
+	return e.inner.OpenSDS(queryDoc, opts)
+}
+
+// NewBatchRDS prepares a resumable batch of RDS queries over per-query
+// cursors: Run drives every unfinished query to termination, a cancelled
+// Run keeps per-query pipeline state for the next Run, and Cursor(i)
+// exposes each query's cursor (e.g. to GrowK individual queries after the
+// batch completes). Close the batch when done.
+func (e *Engine) NewBatchRDS(queries [][]ConceptID, opts Options) (*Batch, error) {
+	return e.inner.NewBatchRDS(queries, opts)
+}
+
+// NewBatchSDS prepares a resumable batch of SDS queries; see NewBatchRDS.
+func (e *Engine) NewBatchSDS(queryDocs [][]ConceptID, opts Options) (*Batch, error) {
+	return e.inner.NewBatchSDS(queryDocs, opts)
 }
 
 // BatchRDS evaluates many RDS queries concurrently over a worker pool

@@ -238,7 +238,7 @@ func All(env *Env) ([]*Table, error) {
 		return nil, err
 	}
 	out = append(out, ex)
-	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery, ShardSweep, TelemetryOverhead} {
+	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery, ShardSweep, TelemetryOverhead, CursorResume} {
 		tbl, err := fn(env)
 		if err != nil {
 			return nil, err
@@ -252,7 +252,7 @@ func All(env *Env) ([]*Table, error) {
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
 	"dedup", "queue", "skip", "store", "ta", "parallel", "shard",
-	"telemetry", "all",
+	"telemetry", "cursor", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -306,6 +306,9 @@ func Run(env *Env, name string) ([]*Table, error) {
 		return []*Table{t}, err
 	case "telemetry":
 		t, err := TelemetryOverhead(env)
+		return []*Table{t}, err
+	case "cursor":
+		t, err := CursorResume(env)
 		return []*Table{t}, err
 	case "all", "":
 		return All(env)

@@ -21,19 +21,23 @@
 // lower-bound pruning against the k-th distance, partial sorting of the
 // candidate list, reusing the accumulated distance when every query concept
 // is covered (skipping DRC), and progressive result emission.
+//
+// The algorithm runs as a staged pipeline — plan, wave stepper, bound
+// table, examination policy, collector — driven by a steppable executor
+// (pipeline.go). RDS/SDS run the executor to termination; the Cursor API
+// (cursor.go) exposes the same executor incrementally, with resumable
+// pagination and GrowK. The parallel speculation path (parallel.go), the
+// batch scheduler (batch.go) and the sharded fan-out (internal/shard) all
+// share these stage types.
 package core
 
 import (
 	"context"
 	"errors"
-	"fmt"
-	"math"
 	"runtime"
-	"sort"
 	"time"
 
 	"conceptrank/internal/corpus"
-	"conceptrank/internal/distance"
 	"conceptrank/internal/drc"
 	"conceptrank/internal/index"
 	"conceptrank/internal/ontology"
@@ -85,6 +89,14 @@ type Options struct {
 	// fully serial; negative values are rejected with ErrNegativeWorkers.
 	// The UseBL ablation path always runs serial.
 	Workers int
+	// ExamPolicy overrides the examination decision of the pipeline's
+	// policy stage. nil selects the paper's rule: examine while the Eq. 9
+	// error estimate is within ErrorThreshold, unconditionally on forced
+	// examinations and at traversal exhaustion (ThresholdPolicy). A custom
+	// policy must be deterministic — the speculative prefetch mirrors its
+	// decisions — and only preserves exact top-k results if it examines
+	// forced and exhausted candidates; see ExamPolicy.
+	ExamPolicy ExamPolicy
 	// Progressive, when non-nil, receives results as soon as they are
 	// provably part of the top-k (optimization 4), before the run ends.
 	// Progressive is always invoked sequentially from the goroutine running
@@ -154,7 +166,8 @@ func (o Options) Normalize() Options {
 
 // Metrics reports where a query spent its time, matching the stacked
 // components of the paper's Figures 7-9 (distance calculation, ontology
-// traversal, I/O).
+// traversal, I/O). For a Cursor, times and counters accumulate across
+// every run segment of the query's lifetime.
 type Metrics struct {
 	TraversalTime time.Duration // BFS expansion, bound maintenance
 	DistanceTime  time.Duration // DRC / BL exact distance computations
@@ -251,49 +264,29 @@ func (e *Engine) SDS(queryDoc []ontology.ConceptID, opts Options) ([]Result, *Me
 // RDSContext is RDS under a caller context. Cancellation is observed at
 // wave boundaries (once per BFS depth level); a cancelled query returns
 // ctx.Err() with nil results and the metrics accumulated so far.
+// RDSContext is exactly OpenRDS + Cursor.Run + Close: one pass of the
+// staged pipeline over the same executor the cursor exposes stepwise.
 func (e *Engine) RDSContext(ctx context.Context, q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.search(ctx, false, q, opts.Normalize())
+	return e.runQuery(ctx, false, q, opts)
 }
 
 // SDSContext is SDS under a caller context; see RDSContext for the
 // cancellation contract.
 func (e *Engine) SDSContext(ctx context.Context, queryDoc []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
-	return e.search(ctx, true, queryDoc, opts.Normalize())
+	return e.runQuery(ctx, true, queryDoc, opts)
 }
 
-// bfsState is one queued traversal step: node reached from origin q[origin]
-// at the given distance; down records whether the path has started
-// descending (valid paths are up* down*, Section 3.1).
-type bfsState struct {
-	node   ontology.ConceptID
-	origin int32
-	depth  int32
-	down   bool
+func (e *Engine) runQuery(ctx context.Context, sds bool, q []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+	x, m, err := e.newExecutor(sds, q, opts.Normalize())
+	if err != nil {
+		return nil, m, err
+	}
+	defer x.close()
+	if err := x.run(ctx); err != nil {
+		return nil, m, err
+	}
+	return x.results, m, nil
 }
-
-// docState is the paper's Ld entry: per-candidate accumulated distances.
-type docState struct {
-	coveredA  []int32 // per query-origin min distance; -1 = not covered (Md)
-	nCoveredA int32
-	sumA      int64
-	// SDS direction B (M'd): covered candidate-document concepts.
-	coveredB map[ontology.ConceptID]int32
-	sumB     int64
-	sizeB    int32 // |d|
-	examined bool
-	pruned   bool
-	// Speculation cache (Workers > 1): the exact distance computed ahead of
-	// the commit decision by a pool worker. Written by exactly one worker
-	// per wave, read by the coordinator only after the wave barrier; a
-	// document's exact distance never changes, so a cached value stays
-	// valid across waves. specErr holds a deferred fetch/DRC error that is
-	// surfaced only if the candidate is actually committed.
-	specDist float64
-	specErr  error
-	specHas  bool
-}
-
-const unset = int32(-1)
 
 func (e *Engine) ioSnapshot() time.Duration {
 	if e.io == nil {
@@ -302,439 +295,21 @@ func (e *Engine) ioSnapshot() time.Duration {
 	return e.io.Time()
 }
 
-// beginQuery starts the wall-clock / I/O attribution shared by every query
-// entry point (kNDS search, serial and partitioned full scans): it
-// snapshots the engine's cumulative I/O time, and the returned func —
-// deferred by the caller — finalizes Metrics.TotalTime and Metrics.IOTime
-// as deltas. IOTime is zero for in-memory stores, which share no
-// store.IOStats with the engine.
+// beginQuery starts the wall-clock / I/O attribution shared by every
+// pipeline segment and full-scan entry point: it snapshots the engine's
+// cumulative I/O time, and the returned func — deferred by the caller —
+// accumulates the segment's deltas into Metrics.TotalTime and
+// Metrics.IOTime. Accumulation (rather than overwrite) is what lets a
+// Cursor's metrics span its open/run/grow segments without counting the
+// caller's think time in between. IOTime is zero for in-memory stores,
+// which share no store.IOStats with the engine.
 func (e *Engine) beginQuery(m *Metrics) func() {
 	start := time.Now()
 	ioStart := e.ioSnapshot()
 	return func() {
-		m.TotalTime = time.Since(start)
-		m.IOTime = e.ioSnapshot() - ioStart
+		m.TotalTime += time.Since(start)
+		m.IOTime += e.ioSnapshot() - ioStart
 	}
-}
-
-func (e *Engine) search(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
-	m := &Metrics{}
-	defer e.beginQuery(m)()
-	tr := newTracer(opts.Trace)
-
-	if opts.Workers < 0 {
-		return nil, m, ErrNegativeWorkers
-	}
-	q := dedupConcepts(rawQuery)
-	if len(q) == 0 {
-		return nil, m, ErrEmptyQuery
-	}
-	// Snapshot the collection size: documents added concurrently become
-	// visible to the next query, not this one.
-	totalDocs := e.numDocs()
-	for _, c := range q {
-		if int(c) >= e.o.NumConcepts() {
-			return nil, m, fmt.Errorf("core: query concept %d outside ontology", c)
-		}
-	}
-	nq := int32(len(q))
-
-	// Exact-distance calculator: DRC with a prepared query side, or the
-	// pairwise BL baseline for the ablation.
-	var prep *drc.Prepared
-	var bl *distance.BL
-	distStart := time.Now()
-	if opts.UseBL {
-		bl = distance.NewBL(e.o, 0)
-	} else {
-		cache := e.addrCache
-		if opts.MaxPaths > 0 {
-			cache = nil // capped enumeration differs from the cached one
-		}
-		prep = drc.PrepareCached(e.o, q, opts.MaxPaths, cache)
-	}
-	m.DistanceTime += time.Since(distStart)
-
-	states := make(map[corpus.DocID]*docState)
-	var live []corpus.DocID // discovered, not yet examined or pruned
-
-	// visited: per (origin, node) phase bits. Bit 1: reached while still
-	// allowed to ascend (up phase); bit 2: reached in descent. An up-phase
-	// visit dominates any later down-phase visit at equal or larger depth.
-	var visited map[uint64]uint8
-	if opts.DedupVisits {
-		visited = make(map[uint64]uint8)
-	}
-	vkey := func(origin int32, node ontology.ConceptID) uint64 {
-		return uint64(origin)<<32 | uint64(node)
-	}
-
-	var queue []bfsState
-	head := 0
-	push := func(s bfsState) {
-		if visited != nil {
-			k := vkey(s.origin, s.node)
-			bits := visited[k]
-			if s.down {
-				if bits != 0 { // up or down already seen
-					return
-				}
-				visited[k] = bits | 2
-			} else {
-				if bits&1 != 0 {
-					return
-				}
-				visited[k] = bits | 3 // up dominates future down visits
-			}
-		}
-		queue = append(queue, s)
-	}
-	for i, qi := range q {
-		push(bfsState{node: qi, origin: int32(i), depth: 0, down: false})
-	}
-
-	// Results heap: max-heap of size <= K holding the best exact distances.
-	hk := newTopK(opts.K)
-	emitted := make(map[corpus.DocID]bool)
-
-	// visit processes one popped state: discover documents containing the
-	// node, then expand valid-path neighbors.
-	visit := func(s bfsState) error {
-		postings, err := e.inv.Postings(s.node)
-		if err != nil {
-			return fmt.Errorf("core: postings(%d): %w", s.node, err)
-		}
-		for _, doc := range postings {
-			st := states[doc]
-			if st == nil {
-				st = &docState{coveredA: make([]int32, nq), nCoveredA: 0}
-				for i := range st.coveredA {
-					st.coveredA[i] = unset
-				}
-				if sds {
-					n, err := e.fwd.NumConcepts(doc)
-					if err != nil {
-						return fmt.Errorf("core: forward(%d): %w", doc, err)
-					}
-					st.sizeB = int32(n)
-					st.coveredB = make(map[ontology.ConceptID]int32)
-				}
-				states[doc] = st
-				live = append(live, doc)
-				m.DocsDiscovered++
-			}
-			if st.examined || st.pruned {
-				continue
-			}
-			if st.coveredA[s.origin] == unset {
-				st.coveredA[s.origin] = s.depth
-				st.nCoveredA++
-				st.sumA += int64(s.depth)
-			}
-			if sds {
-				if _, ok := st.coveredB[s.node]; !ok {
-					st.coveredB[s.node] = s.depth
-					st.sumB += int64(s.depth)
-				}
-			}
-		}
-		// Valid-path expansion: ascending is only allowed before the first
-		// descent (Example 4: {G,F} is never pushed because J was reached
-		// from F by descending).
-		if !s.down {
-			for _, p := range e.o.Parents(s.node) {
-				push(bfsState{node: p, origin: s.origin, depth: s.depth + 1, down: false})
-			}
-		}
-		for _, c := range e.o.Children(s.node) {
-			push(bfsState{node: c, origin: s.origin, depth: s.depth + 1, down: true})
-		}
-		return nil
-	}
-
-	// partial and lower-bound distances (Eqs. 5-8). bound is the smallest
-	// depth still pending in the queue: any uncovered query origin (or
-	// uncovered candidate concept) contributes at least bound.
-	partialOf := func(st *docState) float64 {
-		if !sds {
-			return float64(st.sumA)
-		}
-		p := float64(st.sumA) / float64(nq)
-		if st.sizeB > 0 {
-			p += float64(st.sumB) / float64(st.sizeB)
-		}
-		return p
-	}
-	lowerOf := func(st *docState, bound float64) float64 {
-		// Guard the uncovered terms: at traversal exhaustion bound is +Inf
-		// and a fully covered term must contribute exactly its sum
-		// (0 * Inf would be NaN).
-		uncoveredA := float64(int64(nq) - int64(st.nCoveredA))
-		termA := float64(st.sumA)
-		if uncoveredA > 0 {
-			termA += uncoveredA * bound
-		}
-		if !sds {
-			return termA
-		}
-		lb := termA / float64(nq)
-		if st.sizeB > 0 {
-			termB := float64(st.sumB)
-			if uncoveredB := float64(int(st.sizeB) - len(st.coveredB)); uncoveredB > 0 {
-				termB += uncoveredB * bound
-			}
-			lb += termB / float64(st.sizeB)
-		}
-		return lb
-	}
-	undiscoveredLB := func(bound float64) float64 {
-		if len(states) >= totalDocs {
-			return math.Inf(1)
-		}
-		if !sds {
-			return float64(nq) * bound
-		}
-		return 2 * bound
-	}
-
-	// examine computes the exact distance of a candidate (lines 17-27).
-	examine := func(doc corpus.DocID, st *docState) error {
-		st.examined = true
-		m.DocsExamined++
-		fullyCovered := st.nCoveredA == nq && (!sds || len(st.coveredB) == int(st.sizeB))
-		var dist float64
-		drcRan := 1
-		if fullyCovered && !opts.NoSkipWhenCovered {
-			// Optimization 3: BFS first-contact distances are exact, so the
-			// accumulated partial distance is the true distance.
-			dist = partialOf(st)
-			drcRan = 0
-		} else if st.specHas {
-			// A pool worker already computed this distance speculatively
-			// (its time is accounted under DistanceTime at the wave
-			// barrier); commit its result, errors included.
-			if st.specErr != nil {
-				return st.specErr
-			}
-			dist = st.specDist
-			m.DRCCalls++
-		} else {
-			concepts, err := e.fwd.Concepts(doc)
-			if err != nil {
-				return fmt.Errorf("core: forward(%d): %w", doc, err)
-			}
-			t0 := time.Now()
-			switch {
-			case opts.UseBL && sds:
-				dist = bl.DocDoc(concepts, q)
-			case opts.UseBL:
-				dist = bl.DocQuery(concepts, q)
-			case sds:
-				dist, err = prep.DocDoc(concepts)
-			default:
-				dist, err = prep.DocQuery(concepts)
-			}
-			m.DistanceTime += time.Since(t0)
-			if err != nil {
-				return err
-			}
-			m.DRCCalls++
-		}
-		tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: doc, Value: dist, N: drcRan})
-		hk.offer(Result{Doc: doc, Distance: dist})
-		return nil
-	}
-
-	// Intra-query parallelism: a lazily created bounded worker pool for
-	// speculative distance prefetch. The UseBL ablation calculator is not
-	// safe for concurrent use, so the ablation path stays serial.
-	spec := newSpeculator(e, sds, prep, nq, opts, m)
-	defer spec.close()
-
-	// Each BFS depth level yields at most two waves (one if the queue limit
-	// pauses it for a forced examination); the guard is a safety net
-	// against implementation bugs, not a tuning knob.
-	maxWaves := 2*(2*e.o.MaxDepth()+4) + 8
-	lastPauseDepth := int32(-1)
-	lastDMinus := math.Inf(1) // d⁻ of the final wave, for TerminalEps
-
-	for wave := 0; ; wave++ {
-		if wave > maxWaves {
-			return nil, m, fmt.Errorf("core: kNDS failed to terminate after %d waves", wave)
-		}
-		// Cancellation is checked once per wave: waves are short relative to
-		// query latency, and a wave boundary is the only point where no
-		// speculative work is in flight.
-		if err := ctx.Err(); err != nil {
-			return nil, m, err
-		}
-		forced := head >= len(queue)
-
-		// --- Traversal: expand one BFS depth level. If the pending queue
-		// exceeds QueueLimit, pause once per level for a forced examination
-		// (the paper halts traversal and examines the collected documents),
-		// then resume the level so traversal always makes progress.
-		if head < len(queue) {
-			t0 := time.Now()
-			waveDepth := queue[head].depth
-			var waveVisited []VisitedNode
-			popBase := m.NodesVisited
-			tr.emit(TraceEvent{Kind: TraceWaveStart, Wave: wave, Depth: int(waveDepth), N: len(queue) - head})
-			for head < len(queue) && queue[head].depth == waveDepth {
-				if opts.QueueLimit > 0 && len(queue)-head > opts.QueueLimit && lastPauseDepth != waveDepth {
-					lastPauseDepth = waveDepth
-					forced = true
-					m.ForcedExams++
-					tr.emit(TraceEvent{Kind: TraceForcedExam, Wave: wave, Depth: int(waveDepth), N: len(queue) - head})
-					break
-				}
-				s := queue[head]
-				head++
-				m.NodesVisited++
-				if opts.OnWave != nil {
-					waveVisited = append(waveVisited, VisitedNode{Node: s.node, Origin: int(s.origin)})
-				}
-				if err := visit(s); err != nil {
-					return nil, m, err
-				}
-			}
-			m.Iterations++
-			tr.emit(TraceEvent{Kind: TraceWaveEnd, Wave: wave, Depth: int(waveDepth), N: int(m.NodesVisited - popBase)})
-			if opts.OnWave != nil {
-				info := WaveInfo{Depth: int(waveDepth), Visited: waveVisited,
-					CoveredDist: make(map[corpus.DocID][]int32, len(states))}
-				for doc, st := range states {
-					if !st.examined && !st.pruned {
-						info.CoveredDist[doc] = st.coveredA
-					}
-				}
-				opts.OnWave(info)
-			}
-			// Reclaim consumed queue prefix.
-			if head > 4096 && head > len(queue)/2 {
-				queue = append(queue[:0], queue[head:]...)
-				head = 0
-			}
-			m.TraversalTime += time.Since(t0)
-		}
-
-		bound := math.Inf(1)
-		if head < len(queue) {
-			bound = float64(queue[head].depth)
-		}
-
-		// --- Examination: sort live candidates by lower bound and examine
-		// while the error estimate is within ε_θ (or unconditionally when
-		// traversal cannot refine bounds further).
-		t1 := time.Now()
-		cands := make([]cand, 0, len(live))
-		compacted := live[:0]
-		for _, doc := range live {
-			st := states[doc]
-			if st.examined || st.pruned {
-				continue
-			}
-			compacted = append(compacted, doc)
-			cands = append(cands, cand{doc: doc, st: st, lb: lowerOf(st, bound), partial: partialOf(st)})
-		}
-		live = compacted
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].lb != cands[j].lb {
-				return cands[i].lb < cands[j].lb
-			}
-			return cands[i].doc < cands[j].doc
-		})
-		m.TraversalTime += time.Since(t1)
-
-		// Speculative parallel examination: prefetch exact distances for the
-		// candidate prefix the serial commit loop below could examine this
-		// wave (selected with the heap's k-th distance frozen — a provable
-		// superset of the serial choice; see DESIGN.md). The commit loop is
-		// byte-for-byte the serial decision sequence, so results, pruning and
-		// counters are identical at every Workers setting.
-		spec.prefetch(cands, hk, bound, forced)
-
-		for _, c := range cands {
-			kth := hk.kth()
-			if hk.full() && c.lb > kth {
-				// Optimization 1: this candidate can never enter the top-k —
-				// its distance is at least lb, strictly above the k-th.
-				c.st.pruned = true
-				continue
-			}
-			if hk.full() && c.lb == kth && c.doc > hk.worst().Doc {
-				// Even at dist == lb == kth this candidate loses the
-				// canonical (distance, doc) tie-break against the current
-				// k-th result, and the heap only ever improves — prune it so
-				// d⁻ can rise strictly above kth and terminate the query.
-				c.st.pruned = true
-				continue
-			}
-			eps := 0.0
-			if c.lb > 0 {
-				eps = 1 - c.partial/c.lb
-			}
-			if eps > opts.ErrorThreshold && !forced && !math.IsInf(bound, 1) {
-				break
-			}
-			if err := examine(c.doc, c.st); err != nil {
-				return nil, m, err
-			}
-		}
-
-		// --- Early output (optimization 4) and termination.
-		dMinus := undiscoveredLB(bound)
-		for _, doc := range live {
-			st := states[doc]
-			if st.examined || st.pruned {
-				continue
-			}
-			if lb := lowerOf(st, bound); lb < dMinus {
-				dMinus = lb
-			}
-		}
-		if opts.Progressive != nil {
-			for _, r := range hk.items {
-				// Strictly below d⁻: any future offer has distance >= d⁻, so
-				// under the canonical (distance, doc) eviction order an
-				// emitted result can never be displaced.
-				if !emitted[r.Doc] && r.Distance < dMinus {
-					emitted[r.Doc] = true
-					opts.Progressive(r)
-				}
-			}
-		}
-		lastDMinus = dMinus
-		tr.emit(TraceEvent{Kind: TraceBound, Wave: wave, Value: dMinus})
-		if opts.OnBound != nil {
-			opts.OnBound(dMinus)
-		}
-		// Strict comparison: at dMinus == kth an outstanding candidate (or
-		// an undiscovered document) could still reach exactly the k-th
-		// distance with a smaller doc ID and win the canonical tie-break.
-		if hk.full() && dMinus > hk.kth() {
-			break
-		}
-		if head >= len(queue) {
-			// Traversal exhausted; the forced examination above drained
-			// every candidate that could still matter.
-			break
-		}
-	}
-
-	results := hk.sorted()
-	m.ResultCount = len(results)
-	m.TerminalEps = terminalEps(hk.kth(), lastDMinus)
-	tr.emit(TraceEvent{Kind: TraceTerminate, Value: m.TerminalEps, N: len(results)})
-	if opts.Progressive != nil {
-		for _, r := range results {
-			if !emitted[r.Doc] {
-				emitted[r.Doc] = true
-				opts.Progressive(r)
-			}
-		}
-	}
-	return results, m, nil
 }
 
 func dedupConcepts(in []ontology.ConceptID) []ontology.ConceptID {
@@ -746,94 +321,5 @@ func dedupConcepts(in []ontology.ConceptID) []ontology.ConceptID {
 			out = append(out, c)
 		}
 	}
-	return out
-}
-
-// topK is a bounded max-heap keeping the k canonically smallest results,
-// where the canonical total order is (distance, then doc ID). Because the
-// order is total, the final heap content is a pure function of the offered
-// set — independent of offer order — which is what lets the sharded engine
-// merge per-shard heaps into exactly the single-engine answer (see
-// DESIGN.md, "Sharded execution"). Progressive emission stays safe because
-// a result is only emitted once its distance is strictly below every
-// outstanding lower bound.
-type topK struct {
-	k     int
-	items []Result
-}
-
-func newTopK(k int) *topK { return &topK{k: k} }
-
-func (h *topK) full() bool { return len(h.items) >= h.k }
-
-// kth returns the current k-th smallest distance (+Inf while not full).
-func (h *topK) kth() float64 {
-	if !h.full() {
-		return math.Inf(1)
-	}
-	return h.items[0].Distance
-}
-
-// worst returns the canonically largest retained result — the current k-th.
-// Only meaningful while full() is true.
-func (h *topK) worst() Result { return h.items[0] }
-
-func worse(a, b Result) bool {
-	if a.Distance != b.Distance {
-		return a.Distance > b.Distance
-	}
-	return a.Doc > b.Doc
-}
-
-func (h *topK) offer(r Result) {
-	if len(h.items) < h.k {
-		h.items = append(h.items, r)
-		h.up(len(h.items) - 1)
-		return
-	}
-	// Canonical eviction: r displaces the current k-th result exactly when
-	// r precedes it in the (distance, doc ID) total order. Distance ties
-	// therefore resolve toward the smaller doc ID no matter in which order
-	// candidates were examined or which shard offered them.
-	if h.k == 0 || !worse(h.items[0], r) {
-		return
-	}
-	h.items[0] = r
-	h.down(0)
-}
-
-func (h *topK) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !worse(h.items[i], h.items[p]) {
-			break
-		}
-		h.items[i], h.items[p] = h.items[p], h.items[i]
-		i = p
-	}
-}
-
-func (h *topK) down(i int) {
-	n := len(h.items)
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && worse(h.items[l], h.items[largest]) {
-			largest = l
-		}
-		if r < n && worse(h.items[r], h.items[largest]) {
-			largest = r
-		}
-		if largest == i {
-			return
-		}
-		h.items[i], h.items[largest] = h.items[largest], h.items[i]
-		i = largest
-	}
-}
-
-func (h *topK) sorted() []Result {
-	out := append([]Result(nil), h.items...)
-	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
 	return out
 }

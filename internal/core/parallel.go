@@ -57,20 +57,21 @@ type cand struct {
 // <= 1, or the UseBL ablation path, whose pairwise calculator is not safe
 // for concurrent use.
 type speculator struct {
-	e    *Engine
-	sds  bool
-	prep *drc.Prepared
-	nq   int32
-	opts Options
-	m    *Metrics
-	pool *pool.Pool // lazily created on the first wave with >= 2 tasks
+	e      *Engine
+	sds    bool
+	prep   *drc.Prepared
+	nq     int32
+	opts   Options
+	policy ExamPolicy
+	m      *Metrics
+	pool   *pool.Pool // lazily created on the first wave with >= 2 tasks
 }
 
-func newSpeculator(e *Engine, sds bool, prep *drc.Prepared, nq int32, opts Options, m *Metrics) *speculator {
+func newSpeculator(e *Engine, sds bool, prep *drc.Prepared, nq int32, opts Options, policy ExamPolicy, m *Metrics) *speculator {
 	if opts.Workers <= 1 || opts.UseBL || prep == nil {
 		return &speculator{}
 	}
-	return &speculator{e: e, sds: sds, prep: prep, nq: nq, opts: opts, m: m}
+	return &speculator{e: e, sds: sds, prep: prep, nq: nq, opts: opts, policy: policy, m: m}
 }
 
 func (s *speculator) close() {
@@ -114,7 +115,10 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 		if c.lb > 0 {
 			eps = 1 - c.partial/c.lb
 		}
-		if eps > s.opts.ErrorThreshold && !forced && !infBound {
+		if !s.policy.ShouldExamine(ExamDecision{
+			Eps: eps, Lower: c.lb, Partial: c.partial,
+			Forced: forced, Exhausted: infBound,
+		}) {
 			break
 		}
 		st := c.st

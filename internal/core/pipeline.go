@@ -1,0 +1,681 @@
+package core
+
+// The staged kNDS query pipeline. What used to be one monolithic search
+// function is decomposed into explicit stages so the executor can pause,
+// resume and grow a query without re-running it (see DESIGN.md, "Query
+// pipeline"):
+//
+//	plan        query normalization, dedup, validation, DRC preparation,
+//	            frontier seeding — everything immutable for the query's
+//	            lifetime (queryPlan).
+//	stepper     the valid-path BFS frontier; expands exactly one depth
+//	            level per step, with the queue-limit pause for forced
+//	            examinations (waveStepper).
+//	bounds      the paper's Ld table: per-document partial distances and
+//	            lower bounds, Eqs. 5-8 (boundTable).
+//	policy      the examine-now-or-defer decision, ε_d ≤ ε_θ by default,
+//	            pluggable via Options.ExamPolicy (ExamPolicy).
+//	collector   the canonical tie-broken top-k plus the exact-distance
+//	            archive that makes GrowK possible (collector).
+//
+// The executor wires the stages into the paper's wave loop. One stepWave
+// call is one wave: traverse a BFS level, refresh candidate bounds,
+// speculatively prefetch (Workers > 1), run the serial commit loop, then
+// recompute the termination floor d⁻. Because every piece of mutable
+// query state lives on the executor, a query is resumable: a context
+// cancellation observed at a wave boundary leaves the state intact, and
+// growK widens the collector and revives pruned candidates so the same
+// traversal continues toward a larger k (the Cursor API in cursor.go).
+//
+// Resumability imposes two deliberate deviations from the monolith, both
+// invisible to a fixed-k query:
+//
+//  1. the bound table keeps accumulating coverage for *pruned* documents
+//     (only examined ones stop). A pruned document is out of the live
+//     list, so fixed-k decisions never see the extra coverage — but after
+//     growK revives it, its lower bound is exactly what an un-pruned run
+//     would have accumulated, which is what makes GrowK bitwise-identical
+//     to a fresh larger-k query.
+//  2. the collector archives every examined result, not just the current
+//     top-k, so a grown heap can be rebuilt from exact distances without
+//     re-probing DRC.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/ontology"
+)
+
+// queryPlan is the immutable output of the plan stage.
+type queryPlan struct {
+	sds       bool
+	q         []ontology.ConceptID // deduplicated query concepts
+	nq        int32
+	opts      Options
+	totalDocs int // collection size snapshot: concurrent adds wait for the next query
+	prep      *drc.Prepared
+	bl        *distance.BL
+	policy    ExamPolicy
+}
+
+// plan validates and normalizes the query and prepares the exact-distance
+// calculator: DRC with a prepared query side, or the pairwise BL baseline
+// for the ablation.
+func (e *Engine) plan(sds bool, rawQuery []ontology.ConceptID, opts Options, m *Metrics) (*queryPlan, error) {
+	if opts.Workers < 0 {
+		return nil, ErrNegativeWorkers
+	}
+	q := dedupConcepts(rawQuery)
+	if len(q) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	totalDocs := e.numDocs()
+	for _, c := range q {
+		if int(c) >= e.o.NumConcepts() {
+			return nil, fmt.Errorf("core: query concept %d outside ontology", c)
+		}
+	}
+	p := &queryPlan{sds: sds, q: q, nq: int32(len(q)), opts: opts, totalDocs: totalDocs}
+	distStart := time.Now()
+	if opts.UseBL {
+		p.bl = distance.NewBL(e.o, 0)
+	} else {
+		cache := e.addrCache
+		if opts.MaxPaths > 0 {
+			cache = nil // capped enumeration differs from the cached one
+		}
+		p.prep = drc.PrepareCached(e.o, q, opts.MaxPaths, cache)
+	}
+	m.DistanceTime += time.Since(distStart)
+	p.policy = opts.ExamPolicy
+	if p.policy == nil {
+		p.policy = ThresholdPolicy(opts.ErrorThreshold)
+	}
+	return p, nil
+}
+
+// bfsState is one queued traversal step: node reached from origin q[origin]
+// at the given distance; down records whether the path has started
+// descending (valid paths are up* down*, Section 3.1).
+type bfsState struct {
+	node   ontology.ConceptID
+	origin int32
+	depth  int32
+	down   bool
+}
+
+// waveStepper owns the valid-path BFS frontier. Each executor wave pops
+// exactly one depth level (or a queue-limit-bounded prefix of it) and
+// pushes the next level's states.
+type waveStepper struct {
+	o     *ontology.Ontology
+	queue []bfsState
+	head  int
+	// visited: per (origin, node) phase bits. Bit 1: reached while still
+	// allowed to ascend (up phase); bit 2: reached in descent. An up-phase
+	// visit dominates any later down-phase visit at equal or larger depth.
+	visited map[uint64]uint8
+}
+
+func newWaveStepper(o *ontology.Ontology, q []ontology.ConceptID, dedup bool) *waveStepper {
+	w := &waveStepper{o: o}
+	if dedup {
+		w.visited = make(map[uint64]uint8)
+	}
+	for i, qi := range q {
+		w.push(bfsState{node: qi, origin: int32(i), depth: 0, down: false})
+	}
+	return w
+}
+
+func vkey(origin int32, node ontology.ConceptID) uint64 {
+	return uint64(origin)<<32 | uint64(node)
+}
+
+func (w *waveStepper) push(s bfsState) {
+	if w.visited != nil {
+		k := vkey(s.origin, s.node)
+		bits := w.visited[k]
+		if s.down {
+			if bits != 0 { // up or down already seen
+				return
+			}
+			w.visited[k] = bits | 2
+		} else {
+			if bits&1 != 0 {
+				return
+			}
+			w.visited[k] = bits | 3 // up dominates future down visits
+		}
+	}
+	w.queue = append(w.queue, s)
+}
+
+func (w *waveStepper) exhausted() bool { return w.head >= len(w.queue) }
+
+func (w *waveStepper) pending() int { return len(w.queue) - w.head }
+
+// nextDepth is the depth of the next pending state; only valid while not
+// exhausted.
+func (w *waveStepper) nextDepth() int32 { return w.queue[w.head].depth }
+
+// bound is the smallest depth still pending — the traversal floor every
+// uncovered term contributes at least (+Inf once exhausted).
+func (w *waveStepper) bound() float64 {
+	if w.exhausted() {
+		return math.Inf(1)
+	}
+	return float64(w.nextDepth())
+}
+
+func (w *waveStepper) pop() bfsState {
+	s := w.queue[w.head]
+	w.head++
+	return s
+}
+
+// expand pushes s's valid-path neighbors: ascending is only allowed before
+// the first descent (Example 4: {G,F} is never pushed because J was
+// reached from F by descending).
+func (w *waveStepper) expand(s bfsState) {
+	if !s.down {
+		for _, p := range w.o.Parents(s.node) {
+			w.push(bfsState{node: p, origin: s.origin, depth: s.depth + 1, down: false})
+		}
+	}
+	for _, c := range w.o.Children(s.node) {
+		w.push(bfsState{node: c, origin: s.origin, depth: s.depth + 1, down: true})
+	}
+}
+
+// reclaim drops the consumed queue prefix once it dominates the slice.
+func (w *waveStepper) reclaim() {
+	if w.head > 4096 && w.head > len(w.queue)/2 {
+		w.queue = append(w.queue[:0], w.queue[w.head:]...)
+		w.head = 0
+	}
+}
+
+// docState is the paper's Ld entry: per-candidate accumulated distances.
+type docState struct {
+	coveredA  []int32 // per query-origin min distance; -1 = not covered (Md)
+	nCoveredA int32
+	sumA      int64
+	// SDS direction B (M'd): covered candidate-document concepts.
+	coveredB map[ontology.ConceptID]int32
+	sumB     int64
+	sizeB    int32 // |d|
+	examined bool
+	pruned   bool
+	// Speculation cache (Workers > 1): the exact distance computed ahead of
+	// the commit decision by a pool worker. Written by exactly one worker
+	// per wave, read by the coordinator only after the wave barrier; a
+	// document's exact distance never changes, so a cached value stays
+	// valid across waves. specErr holds a deferred fetch/DRC error that is
+	// surfaced only if the candidate is actually committed.
+	specDist float64
+	specErr  error
+	specHas  bool
+}
+
+const unset = int32(-1)
+
+// boundTable accumulates partial distances and lower bounds (Eqs. 5-8)
+// for every discovered document.
+type boundTable struct {
+	sds    bool
+	nq     int32
+	states map[corpus.DocID]*docState
+	live   []corpus.DocID // discovered, not yet examined or pruned
+}
+
+func newBoundTable(sds bool, nq int32) *boundTable {
+	return &boundTable{sds: sds, nq: nq, states: make(map[corpus.DocID]*docState)}
+}
+
+// observe records one BFS contact with doc. Coverage keeps accumulating
+// for pruned documents — they are out of the live list, so fixed-k
+// decisions are unaffected, but growK can revive them with bounds as
+// tight as an un-pruned run's (examined documents are final and stop).
+func (b *boundTable) observe(e *Engine, doc corpus.DocID, s bfsState, m *Metrics) error {
+	st := b.states[doc]
+	if st == nil {
+		st = &docState{coveredA: make([]int32, b.nq)}
+		for i := range st.coveredA {
+			st.coveredA[i] = unset
+		}
+		if b.sds {
+			n, err := e.fwd.NumConcepts(doc)
+			if err != nil {
+				return fmt.Errorf("core: forward(%d): %w", doc, err)
+			}
+			st.sizeB = int32(n)
+			st.coveredB = make(map[ontology.ConceptID]int32)
+		}
+		b.states[doc] = st
+		b.live = append(b.live, doc)
+		m.DocsDiscovered++
+	}
+	if st.examined {
+		return nil
+	}
+	if st.coveredA[s.origin] == unset {
+		st.coveredA[s.origin] = s.depth
+		st.nCoveredA++
+		st.sumA += int64(s.depth)
+	}
+	if b.sds {
+		if _, ok := st.coveredB[s.node]; !ok {
+			st.coveredB[s.node] = s.depth
+			st.sumB += int64(s.depth)
+		}
+	}
+	return nil
+}
+
+// partialOf is the accumulated partial distance (Eqs. 5, 7).
+func (b *boundTable) partialOf(st *docState) float64 {
+	if !b.sds {
+		return float64(st.sumA)
+	}
+	p := float64(st.sumA) / float64(b.nq)
+	if st.sizeB > 0 {
+		p += float64(st.sumB) / float64(st.sizeB)
+	}
+	return p
+}
+
+// lowerOf is the lower bound (Eqs. 6, 8): every uncovered term contributes
+// at least bound.
+func (b *boundTable) lowerOf(st *docState, bound float64) float64 {
+	// Guard the uncovered terms: at traversal exhaustion bound is +Inf
+	// and a fully covered term must contribute exactly its sum
+	// (0 * Inf would be NaN).
+	uncoveredA := float64(int64(b.nq) - int64(st.nCoveredA))
+	termA := float64(st.sumA)
+	if uncoveredA > 0 {
+		termA += uncoveredA * bound
+	}
+	if !b.sds {
+		return termA
+	}
+	lb := termA / float64(b.nq)
+	if st.sizeB > 0 {
+		termB := float64(st.sumB)
+		if uncoveredB := float64(int(st.sizeB) - len(st.coveredB)); uncoveredB > 0 {
+			termB += uncoveredB * bound
+		}
+		lb += termB / float64(st.sizeB)
+	}
+	return lb
+}
+
+// undiscoveredLB bounds any document the traversal has not touched yet.
+func (b *boundTable) undiscoveredLB(bound float64, totalDocs int) float64 {
+	if len(b.states) >= totalDocs {
+		return math.Inf(1)
+	}
+	if !b.sds {
+		return float64(b.nq) * bound
+	}
+	return 2 * bound
+}
+
+// candidates compacts the live list and returns the unexamined, unpruned
+// candidates in commit order (lower bound, then doc ID).
+func (b *boundTable) candidates(bound float64) []cand {
+	cands := make([]cand, 0, len(b.live))
+	compacted := b.live[:0]
+	for _, doc := range b.live {
+		st := b.states[doc]
+		if st.examined || st.pruned {
+			continue
+		}
+		compacted = append(compacted, doc)
+		cands = append(cands, cand{doc: doc, st: st, lb: b.lowerOf(st, bound), partial: b.partialOf(st)})
+	}
+	b.live = compacted
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lb != cands[j].lb {
+			return cands[i].lb < cands[j].lb
+		}
+		return cands[i].doc < cands[j].doc
+	})
+	return cands
+}
+
+// revivePruned clears every prune mark and rebuilds the live list from
+// scratch (growK widened the heap, so the old kth-distance prunes no
+// longer hold). Rebuilding rather than appending keeps live duplicate-free
+// even for documents pruned after the final compaction of the previous
+// epoch.
+func (b *boundTable) revivePruned() {
+	b.live = b.live[:0]
+	for doc, st := range b.states {
+		st.pruned = false
+		if !st.examined {
+			b.live = append(b.live, doc)
+		}
+	}
+}
+
+// executor drives the staged pipeline. All mutable query state lives here,
+// which is what makes a query steppable (Cursor) and growable (GrowK).
+type executor struct {
+	e    *Engine
+	p    *queryPlan
+	m    *Metrics
+	tr   tracer
+	step *waveStepper
+	bt   *boundTable
+	coll *collector
+	spec *speculator
+
+	wave       int // global wave index for trace events
+	epochWaves int // waves in the current termination epoch (growK resets)
+	maxWaves   int
+	lastPause  int32   // last depth level paused by the queue limit
+	lastDMinus float64 // d⁻ of the latest wave, for TerminalEps
+	results    []Result
+	done       bool
+	failed     error // sticky non-context error: the state is mid-wave
+}
+
+// newExecutor runs the plan stage and seeds the frontier. The returned
+// Metrics is non-nil even on error, matching the monolith's contract.
+func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Options) (*executor, *Metrics, error) {
+	m := &Metrics{}
+	defer e.beginQuery(m)()
+	tr := newTracer(opts.Trace)
+	p, err := e.plan(sds, rawQuery, opts, m)
+	if err != nil {
+		return nil, m, err
+	}
+	x := &executor{
+		e:    e,
+		p:    p,
+		m:    m,
+		tr:   tr,
+		step: newWaveStepper(e.o, p.q, opts.DedupVisits),
+		bt:   newBoundTable(sds, p.nq),
+		coll: newCollector(opts.K),
+		spec: newSpeculator(e, sds, p.prep, p.nq, opts, p.policy, m),
+		// Each BFS depth level yields at most two waves (one if the queue
+		// limit pauses it for a forced examination); the guard is a safety
+		// net against implementation bugs, not a tuning knob.
+		maxWaves:   2*(2*e.o.MaxDepth()+4) + 8,
+		lastPause:  -1,
+		lastDMinus: math.Inf(1),
+	}
+	return x, m, nil
+}
+
+// run steps waves until the termination condition holds. A context error
+// leaves the state intact for a later resume; any other error poisons the
+// executor (the wave aborted midway, so its state is not consistent).
+func (x *executor) run(ctx context.Context) error {
+	if x.failed != nil {
+		return x.failed
+	}
+	if x.done {
+		return nil
+	}
+	defer x.e.beginQuery(x.m)()
+	for {
+		done, err := x.stepWave(ctx)
+		if err != nil {
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				x.failed = err
+			}
+			return err
+		}
+		if done {
+			x.finish()
+			return nil
+		}
+	}
+}
+
+// stepWave executes one wave of the pipeline and reports whether the
+// query terminated.
+func (x *executor) stepWave(ctx context.Context) (bool, error) {
+	if x.epochWaves > x.maxWaves {
+		return false, fmt.Errorf("core: kNDS failed to terminate after %d waves", x.epochWaves)
+	}
+	x.epochWaves++
+	// Cancellation is checked once per wave: waves are short relative to
+	// query latency, and a wave boundary is the only point where no
+	// speculative work is in flight — so a cancelled query's state is
+	// consistent and the wave can be retried under a fresh context.
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	forced := x.step.exhausted()
+
+	// --- Traversal stage: expand one BFS depth level.
+	if !x.step.exhausted() {
+		if err := x.traverse(&forced); err != nil {
+			return false, err
+		}
+	}
+	bound := x.step.bound()
+
+	// --- Bound stage: refresh candidate bounds in commit order.
+	t1 := time.Now()
+	cands := x.bt.candidates(bound)
+	x.m.TraversalTime += time.Since(t1)
+
+	// Speculative parallel examination: prefetch exact distances for the
+	// candidate prefix the serial commit loop below could examine this
+	// wave (selected with the heap's k-th distance frozen — a provable
+	// superset of the serial choice; see DESIGN.md). The commit loop is
+	// byte-for-byte the serial decision sequence, so results, pruning and
+	// counters are identical at every Workers setting.
+	x.spec.prefetch(cands, x.coll.hk, bound, forced)
+
+	// --- Examination stage: the serial commit loop.
+	exhausted := math.IsInf(bound, 1)
+	for i := range cands {
+		c := &cands[i]
+		kth := x.coll.hk.kth()
+		if x.coll.hk.full() && c.lb > kth {
+			// Optimization 1: this candidate can never enter the top-k —
+			// its distance is at least lb, strictly above the k-th.
+			c.st.pruned = true
+			continue
+		}
+		if x.coll.hk.full() && c.lb == kth && c.doc > x.coll.hk.worst().Doc {
+			// Even at dist == lb == kth this candidate loses the
+			// canonical (distance, doc) tie-break against the current
+			// k-th result, and the heap only ever improves — prune it so
+			// d⁻ can rise strictly above kth and terminate the query.
+			c.st.pruned = true
+			continue
+		}
+		eps := 0.0
+		if c.lb > 0 {
+			eps = 1 - c.partial/c.lb
+		}
+		if !x.p.policy.ShouldExamine(ExamDecision{
+			Eps: eps, Lower: c.lb, Partial: c.partial, Forced: forced, Exhausted: exhausted,
+		}) {
+			break
+		}
+		if err := x.examine(c.doc, c.st); err != nil {
+			return false, err
+		}
+	}
+
+	// --- Collect stage: termination floor, early output (optimization 4).
+	dMinus := x.bt.undiscoveredLB(bound, x.p.totalDocs)
+	for _, doc := range x.bt.live {
+		st := x.bt.states[doc]
+		if st.examined || st.pruned {
+			continue
+		}
+		if lb := x.bt.lowerOf(st, bound); lb < dMinus {
+			dMinus = lb
+		}
+	}
+	if x.p.opts.Progressive != nil {
+		x.coll.emitProvable(dMinus, x.p.opts.Progressive)
+	}
+	x.lastDMinus = dMinus
+	x.tr.emit(TraceEvent{Kind: TraceBound, Wave: x.wave, Value: dMinus})
+	if x.p.opts.OnBound != nil {
+		x.p.opts.OnBound(dMinus)
+	}
+	x.wave++
+	// Strict comparison: at dMinus == kth an outstanding candidate (or
+	// an undiscovered document) could still reach exactly the k-th
+	// distance with a smaller doc ID and win the canonical tie-break.
+	if x.coll.hk.full() && dMinus > x.coll.hk.kth() {
+		return true, nil
+	}
+	if x.step.exhausted() {
+		// Traversal exhausted; the forced examination above drained
+		// every candidate that could still matter.
+		return true, nil
+	}
+	return false, nil
+}
+
+// traverse pops one BFS depth level (pausing once per level when the
+// queue limit forces an examination), feeding document contacts to the
+// bound table and neighbor states back to the stepper.
+func (x *executor) traverse(forced *bool) error {
+	t0 := time.Now()
+	waveDepth := x.step.nextDepth()
+	var waveVisited []VisitedNode
+	popBase := x.m.NodesVisited
+	x.tr.emit(TraceEvent{Kind: TraceWaveStart, Wave: x.wave, Depth: int(waveDepth), N: x.step.pending()})
+	for !x.step.exhausted() && x.step.nextDepth() == waveDepth {
+		if ql := x.p.opts.QueueLimit; ql > 0 && x.step.pending() > ql && x.lastPause != waveDepth {
+			x.lastPause = waveDepth
+			*forced = true
+			x.m.ForcedExams++
+			x.tr.emit(TraceEvent{Kind: TraceForcedExam, Wave: x.wave, Depth: int(waveDepth), N: x.step.pending()})
+			break
+		}
+		s := x.step.pop()
+		x.m.NodesVisited++
+		if x.p.opts.OnWave != nil {
+			waveVisited = append(waveVisited, VisitedNode{Node: s.node, Origin: int(s.origin)})
+		}
+		postings, err := x.e.inv.Postings(s.node)
+		if err != nil {
+			return fmt.Errorf("core: postings(%d): %w", s.node, err)
+		}
+		for _, doc := range postings {
+			if err := x.bt.observe(x.e, doc, s, x.m); err != nil {
+				return err
+			}
+		}
+		x.step.expand(s)
+	}
+	x.m.Iterations++
+	x.tr.emit(TraceEvent{Kind: TraceWaveEnd, Wave: x.wave, Depth: int(waveDepth), N: int(x.m.NodesVisited - popBase)})
+	if x.p.opts.OnWave != nil {
+		info := WaveInfo{Depth: int(waveDepth), Visited: waveVisited,
+			CoveredDist: make(map[corpus.DocID][]int32, len(x.bt.states))}
+		for doc, st := range x.bt.states {
+			if !st.examined && !st.pruned {
+				info.CoveredDist[doc] = st.coveredA
+			}
+		}
+		x.p.opts.OnWave(info)
+	}
+	x.step.reclaim()
+	x.m.TraversalTime += time.Since(t0)
+	return nil
+}
+
+// examine computes the exact distance of a candidate and offers it to the
+// collector (the paper's lines 17-27).
+func (x *executor) examine(doc corpus.DocID, st *docState) error {
+	st.examined = true
+	x.m.DocsExamined++
+	fullyCovered := st.nCoveredA == x.p.nq && (!x.p.sds || len(st.coveredB) == int(st.sizeB))
+	var dist float64
+	drcRan := 1
+	if fullyCovered && !x.p.opts.NoSkipWhenCovered {
+		// Optimization 3: BFS first-contact distances are exact, so the
+		// accumulated partial distance is the true distance.
+		dist = x.bt.partialOf(st)
+		drcRan = 0
+	} else if st.specHas {
+		// A pool worker already computed this distance speculatively
+		// (its time is accounted under DistanceTime at the wave
+		// barrier); commit its result, errors included.
+		if st.specErr != nil {
+			return st.specErr
+		}
+		dist = st.specDist
+		x.m.DRCCalls++
+	} else {
+		concepts, err := x.e.fwd.Concepts(doc)
+		if err != nil {
+			return fmt.Errorf("core: forward(%d): %w", doc, err)
+		}
+		t0 := time.Now()
+		switch {
+		case x.p.opts.UseBL && x.p.sds:
+			dist = x.p.bl.DocDoc(concepts, x.p.q)
+		case x.p.opts.UseBL:
+			dist = x.p.bl.DocQuery(concepts, x.p.q)
+		case x.p.sds:
+			dist, err = x.p.prep.DocDoc(concepts)
+		default:
+			dist, err = x.p.prep.DocQuery(concepts)
+		}
+		x.m.DistanceTime += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		x.m.DRCCalls++
+	}
+	x.tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: doc, Value: dist, N: drcRan})
+	x.coll.offer(Result{Doc: doc, Distance: dist})
+	return nil
+}
+
+// finish materializes the results of the current epoch: canonical order,
+// terminal metrics, the Terminate trace event and the final progressive
+// flush.
+func (x *executor) finish() {
+	x.results = x.coll.hk.sorted()
+	x.m.ResultCount = len(x.results)
+	x.m.TerminalEps = terminalEps(x.coll.hk.kth(), x.lastDMinus)
+	x.tr.emit(TraceEvent{Kind: TraceTerminate, Value: x.m.TerminalEps, N: len(x.results)})
+	if x.p.opts.Progressive != nil {
+		x.coll.flushFinal(x.results, x.p.opts.Progressive)
+	}
+	x.done = true
+}
+
+// growK widens the collector to k and revives pruned candidates so the
+// next run continues the saved traversal toward the larger k. A no-op for
+// k within the current capacity.
+func (x *executor) growK(k int) {
+	if k <= x.coll.capacity() || x.failed != nil {
+		return
+	}
+	x.coll.grow(k)
+	x.bt.revivePruned()
+	x.epochWaves = 0 // fresh termination epoch for the maxWaves guard
+	x.results = nil
+	x.done = false
+}
+
+// close releases the speculation pool. The executor must not run again.
+func (x *executor) close() {
+	x.spec.close()
+}

@@ -1,0 +1,409 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/pool"
+)
+
+// Cursor is a resumable sharded kNDS query: one core.Cursor per non-empty
+// shard plus the cross-shard merger, held open so a caller can take the
+// global top-k now and grow to k' > k later. Growing resumes every shard
+// from its saved frontier — including shards the cross-shard bound paused,
+// whose pause proof (everything they could still produce is outside the
+// global top-k) expires when k grows — and rebuilds the merger from the
+// exact distances the shards have already paid for, so the grown result is
+// bitwise identical to a fresh sharded query with Options.K = k'.
+//
+// Method semantics mirror core.Cursor: Next pages through the merged
+// ranking, GrowK extends it, context errors are resumable at shard wave
+// boundaries, and Close releases every shard cursor.
+type Cursor struct {
+	mu sync.Mutex // serializes the public API; held across segment runs
+
+	e      *Engine
+	sds    bool
+	k      int
+	served int
+	done   bool // current-k run has terminated; results is valid
+	closed bool
+	failed error // sticky non-context error
+
+	results []core.Result
+	sm      *Metrics
+	start   time.Time     // open time: the At reference for dispatch/merge events
+	elapsed time.Duration // accumulated segment wall-clock → Merged.TotalTime
+
+	curs []*core.Cursor // nil for empty shards
+
+	callerTrace core.TraceFunc
+	traceMu     sync.Mutex // serializes forwarded span events across shards
+
+	// Shard goroutines touch the merge state through the OnBound /
+	// Progressive hooks while runTo holds c.mu across the segment, so that
+	// state lives under its own lock.
+	segMu       sync.Mutex
+	merger      *core.Merger
+	offered     map[corpus.DocID]bool // global IDs already offered to merger
+	paused      []bool                // paused by the bound in the current k-epoch
+	cancels     []context.CancelFunc  // current segment's per-shard cancels
+	pausedTotal int                   // lifetime pauses → Metrics.CancelledShards
+}
+
+// OpenRDS plans a relevant-document query across all shards and returns a
+// cursor positioned before the first merged result. No traversal runs
+// until the first Next, GrowK or Run call.
+func (e *Engine) OpenRDS(q []ontology.ConceptID, opts core.Options) (*Cursor, error) {
+	return e.open(false, q, opts)
+}
+
+// OpenSDS plans a similar-document query across all shards; see OpenRDS.
+func (e *Engine) OpenSDS(queryDoc []ontology.ConceptID, opts core.Options) (*Cursor, error) {
+	return e.open(true, queryDoc, opts)
+}
+
+// open validates the query, plans one core cursor per non-empty shard and
+// installs the merge hooks. Per-query callbacks in opts (Progressive,
+// OnWave, OnBound) are owned by the sharded engine, as in RDSContext;
+// Options.Trace is forwarded with TraceEvent.Shard stamped.
+func (e *Engine) open(sds bool, rawQuery []ontology.ConceptID, opts core.Options) (*Cursor, error) {
+	if opts.Workers < 0 {
+		return nil, core.ErrNegativeWorkers
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 1 // the shard fan-out already fills the cores
+	}
+	if len(rawQuery) == 0 {
+		return nil, core.ErrEmptyQuery
+	}
+	for _, cc := range rawQuery {
+		if int(cc) >= e.o.NumConcepts() {
+			return nil, fmt.Errorf("shard: query concept %d outside ontology", cc)
+		}
+	}
+	opts = opts.Normalize()
+
+	c := &Cursor{
+		e: e, sds: sds, k: opts.K,
+		sm:          &Metrics{PerShard: make([]core.Metrics, len(e.shards))},
+		start:       time.Now(),
+		curs:        make([]*core.Cursor, len(e.shards)),
+		merger:      core.NewMerger(opts.K),
+		offered:     make(map[corpus.DocID]bool),
+		paused:      make([]bool, len(e.shards)),
+		cancels:     make([]context.CancelFunc, len(e.shards)),
+		callerTrace: opts.Trace,
+	}
+	for s := range e.shards {
+		if e.counts[s]() == 0 {
+			continue // empty shard: nothing to search, nothing to cancel
+		}
+		s := s
+		so := opts
+		so.OnWave = nil
+		so.Trace = nil
+		if c.callerTrace != nil {
+			c.emit(core.TraceEvent{Kind: core.TraceShardDispatch, At: time.Since(c.start), Shard: s})
+			so.Trace = func(ev core.TraceEvent) {
+				ev.Shard = s
+				c.emit(ev)
+			}
+		}
+		so.Progressive = func(r core.Result) {
+			// Results are provably final when emitted, so offering them as
+			// they appear keeps the merged k-th distance — the cross-shard
+			// cancellation bound — as tight as the shards' progress allows.
+			// The offered set guards against re-offering after a GrowK
+			// merger rebuild (the merger heap has no dedup of its own).
+			gr := core.Result{Doc: e.mapper.global(s, r.Doc), Distance: r.Distance}
+			c.segMu.Lock()
+			if !c.offered[gr.Doc] {
+				c.offered[gr.Doc] = true
+				c.merger.Offer(gr)
+			}
+			c.segMu.Unlock()
+		}
+		so.OnBound = func(dMinus float64) {
+			c.segMu.Lock()
+			if c.paused[s] {
+				c.segMu.Unlock()
+				return
+			}
+			full, kth := c.merger.Full(), c.merger.Kth()
+			cancel := c.cancels[s]
+			if full && dMinus > kth && cancel != nil {
+				// Every result this shard could still produce has distance
+				// >= d⁻ > the merged k-th — pause the shard. Its cursor
+				// state survives the cancellation, so a later GrowK (which
+				// invalidates this proof) resumes it mid-traversal.
+				c.paused[s] = true
+				c.pausedTotal++
+				c.segMu.Unlock()
+				cancel()
+				return
+			}
+			c.segMu.Unlock()
+		}
+		var cur *core.Cursor
+		var err error
+		if sds {
+			cur, err = e.shards[s].OpenSDS(rawQuery, so)
+		} else {
+			cur, err = e.shards[s].OpenRDS(rawQuery, so)
+		}
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		c.curs[s] = cur
+	}
+	return c, nil
+}
+
+func (c *Cursor) emit(ev core.TraceEvent) {
+	if c.callerTrace == nil {
+		return
+	}
+	c.traceMu.Lock()
+	c.callerTrace(ev)
+	c.traceMu.Unlock()
+}
+
+// Next returns the next n merged results in ranked order, growing k as
+// needed. A short or empty page means the union collection holds no more
+// rankable documents. On a context error the page position does not
+// advance and the call can be retried.
+func (c *Cursor) Next(ctx context.Context, n int) ([]core.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, core.ErrCursorClosed
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	target := c.served + n
+	if err := c.runTo(ctx, target); err != nil {
+		return nil, err
+	}
+	if c.served >= len(c.results) {
+		return nil, nil // drained
+	}
+	end := target
+	if end > len(c.results) {
+		end = len(c.results)
+	}
+	page := c.results[c.served:end]
+	c.served = end
+	return page, nil
+}
+
+// GrowK extends the merged ranking to the top k, resuming every shard from
+// its saved state, and returns the full result list (bitwise identical to
+// a fresh sharded query with Options.K = k). It does not consume the Next
+// page position.
+func (c *Cursor) GrowK(ctx context.Context, k int) ([]core.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, core.ErrCursorClosed
+	}
+	if err := c.runTo(ctx, k); err != nil {
+		return nil, err
+	}
+	return c.results, nil
+}
+
+// Run drives the query to termination at the current k and returns the
+// merged results and metrics. RDSContext is Open + Run + Close.
+func (c *Cursor) Run(ctx context.Context) ([]core.Result, *Metrics, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, c.sm, core.ErrCursorClosed
+	}
+	if err := c.runTo(ctx, c.k); err != nil {
+		return nil, c.sm, err
+	}
+	return c.results, c.sm, nil
+}
+
+// runTo grows to target if needed and runs a segment to termination.
+// Caller holds c.mu.
+func (c *Cursor) runTo(ctx context.Context, target int) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	if target > c.k {
+		// Growing past a merger the union could not fill finds nothing new.
+		if !(c.done && len(c.results) < c.k) {
+			c.grow(target)
+		}
+	}
+	if c.done {
+		return nil
+	}
+	segStart := time.Now()
+	defer func() { c.elapsed += time.Since(segStart) }()
+
+	g, gctx := pool.GroupWithContext(ctx)
+	live := 0
+	for s, cur := range c.curs {
+		if cur == nil {
+			continue
+		}
+		c.segMu.Lock()
+		paused := c.paused[s]
+		c.segMu.Unlock()
+		if paused {
+			continue // the bound proof for this k still stands
+		}
+		live++
+		s, cur := s, cur
+		sctx, cancel := context.WithCancel(gctx)
+		c.segMu.Lock()
+		c.cancels[s] = cancel
+		c.segMu.Unlock()
+		g.Go(func() error {
+			defer cancel()
+			_, m, err := cur.Run(sctx)
+			if m != nil {
+				c.sm.PerShard[s] = *m
+			}
+			if err != nil {
+				c.segMu.Lock()
+				paused := c.paused[s]
+				c.segMu.Unlock()
+				if paused && errors.Is(err, context.Canceled) {
+					// Stopped by the cross-shard bound, not by the caller:
+					// everything relevant was already merged.
+					return nil
+				}
+				return fmt.Errorf("shard %d: %w", s, err)
+			}
+			return nil
+		})
+	}
+	err := g.Wait()
+	c.segMu.Lock()
+	for s := range c.cancels {
+		c.cancels[s] = nil
+	}
+	c.segMu.Unlock()
+	if err != nil {
+		if !ctxResumable(err) {
+			c.failed = err
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	c.results = c.merger.Sorted()
+	merged := core.Metrics{}
+	for i := range c.sm.PerShard {
+		mergeMetrics(&merged, &c.sm.PerShard[i])
+	}
+	c.segMu.Lock()
+	cancelled := c.pausedTotal
+	c.segMu.Unlock()
+	merged.TotalTime = c.elapsed + time.Since(segStart)
+	merged.ResultCount = len(c.results)
+	c.sm.Merged = merged
+	c.sm.CancelledShards = cancelled
+	c.emit(core.TraceEvent{
+		Kind:  core.TraceShardMerge,
+		At:    time.Since(c.start),
+		Shard: -1,
+		N:     live,
+		Value: float64(cancelled),
+	})
+	c.done = true
+	return nil
+}
+
+// grow raises k, rebuilds the merger from every shard's archive of exact
+// distances, and unpauses every shard. Caller holds c.mu; no segment is
+// running, so the shard cursors are quiescent.
+func (c *Cursor) grow(k int) {
+	c.k = k
+	c.done = false
+	c.results = nil
+	merger := core.NewMerger(k)
+	offered := make(map[corpus.DocID]bool)
+	for s, cur := range c.curs {
+		if cur == nil {
+			continue
+		}
+		cur.Grow(k)
+		// Re-seed the merger with the exact distances this shard already
+		// paid for: its progressive hook only emits each result once per
+		// query lifetime, so results emitted before the grow would
+		// otherwise be lost to the fresh merger.
+		for _, r := range cur.Examined() {
+			gr := core.Result{Doc: c.e.mapper.global(s, r.Doc), Distance: r.Distance}
+			if !offered[gr.Doc] {
+				offered[gr.Doc] = true
+				merger.Offer(gr)
+			}
+		}
+	}
+	c.segMu.Lock()
+	c.merger = merger
+	c.offered = offered
+	for s := range c.paused {
+		c.paused[s] = false
+	}
+	c.segMu.Unlock()
+}
+
+// K returns the current merged result capacity.
+func (c *Cursor) K() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.k
+}
+
+// Results returns the merged results of the latest completed run (nil
+// before the first run or after a grow). Treat as read-only.
+func (c *Cursor) Results() []core.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.results
+}
+
+// Metrics returns the sharded metrics, accumulated across every run
+// segment so far. The pointer stays live; snapshot it for a fixed view.
+func (c *Cursor) Metrics() *Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sm
+}
+
+// Close releases every shard cursor. Closing twice is a no-op.
+func (c *Cursor) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	for _, cur := range c.curs {
+		if cur != nil {
+			cur.Close()
+		}
+	}
+	c.closed = true
+	return nil
+}
+
+func ctxResumable(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -28,16 +28,12 @@ package shard
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sync"
-	"time"
 
 	"conceptrank/internal/core"
 	"conceptrank/internal/corpus"
 	"conceptrank/internal/index"
 	"conceptrank/internal/ontology"
-	"conceptrank/internal/pool"
 )
 
 // Placement selects how documents are distributed across shards. Both
@@ -229,7 +225,8 @@ func (e *Engine) SDSContext(ctx context.Context, queryDoc []ontology.ConceptID, 
 	return e.query(ctx, true, queryDoc, opts)
 }
 
-// query fans one kNDS query out to every shard and merges the results.
+// query fans one kNDS query out to every shard and merges the results:
+// exactly Open + Cursor.Run + Close over the shared staged pipeline.
 //
 // Per-query callbacks in opts (Progressive, OnWave, OnBound) are owned by
 // the sharded engine — it installs its own merge and bound-propagation
@@ -243,134 +240,12 @@ func (e *Engine) SDSContext(ctx context.Context, queryDoc []ontology.ConceptID, 
 // scheduler: the shard fan-out already fills the cores); set it explicitly
 // to oversubscribe.
 func (e *Engine) query(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts core.Options) ([]core.Result, *Metrics, error) {
-	start := time.Now()
-	sm := &Metrics{PerShard: make([]core.Metrics, len(e.shards))}
-	if opts.Workers < 0 {
-		return nil, sm, core.ErrNegativeWorkers
+	cur, err := e.open(sds, rawQuery, opts)
+	if err != nil {
+		return nil, &Metrics{PerShard: make([]core.Metrics, len(e.shards))}, err
 	}
-	if opts.Workers == 0 {
-		opts.Workers = 1
-	}
-	if len(rawQuery) == 0 {
-		return nil, sm, core.ErrEmptyQuery
-	}
-	for _, c := range rawQuery {
-		if int(c) >= e.o.NumConcepts() {
-			return nil, sm, fmt.Errorf("shard: query concept %d outside ontology", c)
-		}
-	}
-	opts = opts.Normalize()
-
-	var (
-		mu     sync.Mutex
-		merger = core.NewMerger(opts.K)
-	)
-	// selfCancelled is written and read only by the owning shard's
-	// goroutine (OnBound runs synchronously inside the shard's query).
-	selfCancelled := make([]bool, len(e.shards))
-
-	// Span events from shard goroutines and from the fan-out loop itself
-	// serialize through traceMu, preserving the sequential-delivery
-	// contract of core.TraceFunc for the caller's hook.
-	callerTrace := opts.Trace
-	var traceMu sync.Mutex
-	emit := func(ev core.TraceEvent) {
-		if callerTrace == nil {
-			return
-		}
-		traceMu.Lock()
-		callerTrace(ev)
-		traceMu.Unlock()
-	}
-
-	fanout := 0
-	g, gctx := pool.GroupWithContext(ctx)
-	for s := range e.shards {
-		s := s
-		if e.counts[s]() == 0 {
-			continue // empty shard: nothing to search, nothing to cancel
-		}
-		fanout++
-		sctx, cancel := context.WithCancel(gctx)
-		so := opts
-		so.OnWave = nil
-		so.Trace = nil
-		if callerTrace != nil {
-			emit(core.TraceEvent{Kind: core.TraceShardDispatch, At: time.Since(start), Shard: s})
-			so.Trace = func(ev core.TraceEvent) {
-				ev.Shard = s
-				traceMu.Lock()
-				callerTrace(ev)
-				traceMu.Unlock()
-			}
-		}
-		so.Progressive = func(r core.Result) {
-			// Results are provably final when emitted, so offering them as
-			// they appear keeps the merged k-th distance — the cross-shard
-			// cancellation bound — as tight as the shards' progress allows.
-			gr := core.Result{Doc: e.mapper.global(s, r.Doc), Distance: r.Distance}
-			mu.Lock()
-			merger.Offer(gr)
-			mu.Unlock()
-		}
-		so.OnBound = func(dMinus float64) {
-			mu.Lock()
-			full, kth := merger.Full(), merger.Kth()
-			mu.Unlock()
-			if full && dMinus > kth {
-				// Every result this shard could still produce has distance
-				// >= d⁻ > the merged k-th — cancel the remaining work.
-				selfCancelled[s] = true
-				cancel()
-			}
-		}
-		g.Go(func() error {
-			defer cancel()
-			var m *core.Metrics
-			var err error
-			if sds {
-				_, m, err = e.shards[s].SDSContext(sctx, rawQuery, so)
-			} else {
-				_, m, err = e.shards[s].RDSContext(sctx, rawQuery, so)
-			}
-			if m != nil {
-				sm.PerShard[s] = *m
-			}
-			if err != nil {
-				if selfCancelled[s] && errors.Is(err, context.Canceled) {
-					// Stopped by the cross-shard bound, not by the caller:
-					// everything relevant was already merged.
-					mu.Lock()
-					sm.CancelledShards++
-					mu.Unlock()
-					return nil
-				}
-				return fmt.Errorf("shard %d: %w", s, err)
-			}
-			return nil
-		})
-	}
-	if err := g.Wait(); err != nil {
-		return nil, sm, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, sm, err
-	}
-
-	results := merger.Sorted()
-	for i := range sm.PerShard {
-		mergeMetrics(&sm.Merged, &sm.PerShard[i])
-	}
-	sm.Merged.TotalTime = time.Since(start)
-	sm.Merged.ResultCount = len(results)
-	emit(core.TraceEvent{
-		Kind:  core.TraceShardMerge,
-		At:    time.Since(start),
-		Shard: -1,
-		N:     fanout,
-		Value: float64(sm.CancelledShards),
-	})
-	return results, sm, nil
+	defer cur.Close()
+	return cur.Run(ctx)
 }
 
 // mergeMetrics accumulates src into dst: counters and component times sum;

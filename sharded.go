@@ -43,6 +43,14 @@ type ShardConfig = shard.Config
 // cancelled early.
 type ShardedMetrics = shard.Metrics
 
+// ShardedCursor is a resumable sharded query: one pipeline cursor per
+// shard plus the cross-shard merger, held open so the merged ranking can
+// be paged with Next and extended with GrowK — growing resumes every
+// shard (including bound-paused ones) from its saved traversal state and
+// returns results bitwise identical to a fresh sharded query at the
+// larger k. Open with ShardedEngine.OpenRDS/OpenSDS.
+type ShardedCursor = shard.Cursor
+
 // ShardedEngine answers RDS and SDS queries over a partitioned collection.
 // It is safe for concurrent queries. Results are identical to a single
 // Engine over the union collection.
@@ -139,6 +147,19 @@ func (e *ShardedEngine) SDSContext(ctx context.Context, queryDoc []ConceptID, op
 		done(shardedMerged(sm), err)
 	}
 	return res, sm, err
+}
+
+// OpenRDS plans a relevant-document query across all shards and returns a
+// resumable cursor over the merged ranking. Cursor queries are not
+// per-query telemetry-recorded; install Options.Trace for span events.
+// Close the cursor when done.
+func (e *ShardedEngine) OpenRDS(query []ConceptID, opts Options) (*ShardedCursor, error) {
+	return e.inner.OpenRDS(query, opts)
+}
+
+// OpenSDS plans a similar-document query across all shards; see OpenRDS.
+func (e *ShardedEngine) OpenSDS(queryDoc []ConceptID, opts Options) (*ShardedCursor, error) {
+	return e.inner.OpenSDS(queryDoc, opts)
 }
 
 func shardedMerged(sm *ShardedMetrics) *core.Metrics {
