@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor experiments serve-demo
+.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache experiments serve-demo
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,10 @@ test:
 
 # Race-detect the concurrency-bearing packages: the parallel kNDS engine
 # and its serial-equivalence suite, the sharded fan-out engine, the worker
-# pool primitives, the shared address cache, and the telemetry registry.
+# pool primitives, the shared address cache, the semantic-distance cache,
+# and the telemetry registry.
 test-race:
-	$(GO) test -race -count=2 ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/... ./internal/telemetry/...
+	$(GO) test -race -count=2 ./internal/cache/... ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/... ./internal/telemetry/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -46,6 +47,12 @@ bench-trace:
 # fresh requery at the larger k (EXPERIMENTS.md, "Cursor resume").
 bench-cursor:
 	$(GO) run ./cmd/crbench -scale small -exp cursor
+
+# Distance-cache sweep: Zipf workload, byte-budget sweep with hit rate and
+# plan-stage speedup, plus the corpus-growth invalidation phase
+# (EXPERIMENTS.md, "Distance cache").
+bench-cache:
+	$(GO) run ./cmd/crbench -scale small -exp cache
 
 # Regenerate the EXPERIMENTS.md tables at laptop scale.
 experiments:

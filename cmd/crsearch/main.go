@@ -43,12 +43,20 @@ func main() {
 		shards    = flag.Int("shards", 1, "partition the collection across N parallel engines (results identical)")
 		placement = flag.String("placement", "round-robin", "shard placement policy: round-robin or size-balanced")
 		listen    = flag.String("listen", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; keeps running after the query")
+		cacheMB   = flag.Int("cache-mb", 0, "semantic-distance cache budget in MiB (0 = caching off)")
 	)
 	flag.Parse()
 
+	var cc *conceptrank.Cache
+	if *cacheMB > 0 {
+		cc = conceptrank.NewCache(conceptrank.CacheConfig{MaxBytes: int64(*cacheMB) << 20})
+	}
 	var tel *conceptrank.Telemetry
 	if *listen != "" {
 		tel = conceptrank.NewTelemetry(conceptrank.TelemetryConfig{})
+		if cc != nil {
+			tel.AttachCache(cc)
+		}
 		srv, err := tel.Serve(*listen)
 		if err != nil {
 			log.Fatal(err)
@@ -66,6 +74,7 @@ func main() {
 	}
 	eng := conceptrank.NewEngine(o, coll)
 	eng.EnableTelemetry(tel)
+	eng.EnableCache(cc)
 
 	var concepts []conceptrank.ConceptID
 	switch strings.ToLower(*queryType) {

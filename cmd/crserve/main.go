@@ -75,6 +75,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "partition the collection across N engines")
 		placement = flag.String("placement", "round-robin", "shard placement policy")
 		slowMS    = flag.Int("slow", 25, "slow-log latency threshold in milliseconds (0 = log every query)")
+		cacheMB   = flag.Int("cache-mb", 0, "semantic-distance cache budget in MiB (0 = caching off)")
 		demo      = flag.Duration("demo", 0, "fire a random background query this often (0 = off)")
 	)
 	flag.Parse()
@@ -88,6 +89,11 @@ func main() {
 		slowThreshold = time.Nanosecond // Config treats 0 as "use the default"
 	}
 	tel := conceptrank.NewTelemetry(conceptrank.TelemetryConfig{SlowThreshold: slowThreshold})
+	var cc *conceptrank.Cache
+	if *cacheMB > 0 {
+		cc = conceptrank.NewCache(conceptrank.CacheConfig{MaxBytes: int64(*cacheMB) << 20})
+		tel.AttachCache(cc)
+	}
 
 	var s searcher
 	if *shards > 1 {
@@ -100,10 +106,12 @@ func main() {
 			log.Fatal(err)
 		}
 		se.EnableTelemetry(tel)
+		se.EnableCache(cc)
 		s = &shardedSearcher{eng: se, coll: coll}
 	} else {
 		eng := conceptrank.NewEngine(o, coll)
 		eng.EnableTelemetry(tel)
+		eng.EnableCache(cc)
 		s = &singleSearcher{eng: eng, coll: coll}
 	}
 

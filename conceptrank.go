@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"conceptrank/internal/cache"
 	"conceptrank/internal/core"
 	"conceptrank/internal/corpus"
 	"conceptrank/internal/distance"
@@ -107,6 +108,19 @@ type (
 	// the slow-query log; attach one to an engine with EnableTelemetry and
 	// expose it with its Handler or Serve methods.
 	Telemetry = telemetry.Sink
+	// Cache is the shared semantic-distance cache: per-concept Ddc seed
+	// vectors and concept-pair distances, LRU-evicted under a byte budget,
+	// with generation-based invalidation for growing corpora. Attach one to
+	// an engine with EnableCache (or per query via Options.Cache /
+	// WithCache); rankings are bitwise identical with and without it. Safe
+	// for concurrent use and shareable across engines.
+	Cache = cache.Cache
+	// CacheConfig parameterizes NewCache (byte budget, shard count,
+	// admission threshold). The zero value is usable: 64 MiB, 16 shards,
+	// admit on first miss.
+	CacheConfig = cache.Config
+	// CacheStats is a point-in-time snapshot of a Cache's counters.
+	CacheStats = cache.Stats
 	// TelemetryConfig parameterizes NewTelemetry (prefix, slow-query
 	// threshold and capacity). The zero value is usable.
 	TelemetryConfig = telemetry.Config
@@ -143,6 +157,10 @@ func WithQueueLimit(n int) Option { return core.WithQueueLimit(n) }
 // one branch per would-be event.
 func WithTrace(fn TraceFunc) Option { return core.WithTrace(fn) }
 
+// WithCache attaches a distance cache to one query (Options.Cache). For
+// engine-wide caching use Engine.EnableCache instead.
+func WithCache(c *Cache) Option { return core.WithCache(c) }
+
 // Span event kinds a Trace hook can observe, re-exported from the engine.
 const (
 	TraceWaveStart     = core.TraceWaveStart
@@ -153,6 +171,8 @@ const (
 	TraceTerminate     = core.TraceTerminate
 	TraceShardDispatch = core.TraceShardDispatch
 	TraceShardMerge    = core.TraceShardMerge
+	TraceCacheHit      = core.TraceCacheHit
+	TraceCacheMiss     = core.TraceCacheMiss
 )
 
 // ThresholdPolicy returns the paper's default examination policy: examine
@@ -168,6 +188,11 @@ var ErrCursorClosed = core.ErrCursorClosed
 // — /metrics, /debug/vars, /debug/slowlog, /debug/pprof/* — or call its
 // Serve method to bind an introspection listener.
 func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
+
+// NewCache builds a semantic-distance cache. One cache can back any
+// number of engines — entries are namespaced per engine (seed vectors)
+// and per ontology (pair distances), so sharing never mixes corpora.
+func NewCache(cfg CacheConfig) *Cache { return cache.New(cfg) }
 
 // NewOptions builds an Options value by applying opts over the zero value.
 func NewOptions(opts ...Option) Options { return core.NewOptions(opts...) }
@@ -237,6 +262,25 @@ type Engine struct {
 	io      *store.IOStats
 	files   []interface{ Close() error }
 	tel     *telemetry.Sink
+	cache   *cache.Cache
+}
+
+// EnableCache attaches a semantic-distance cache to the engine: every
+// subsequent RDS query (including cursors and batches) resolves its seed
+// vectors through c, skipping the ontology traversal on warm concepts.
+// Rankings are bitwise identical with and without the cache; only timings
+// and traversal counters change. A per-query Options.Cache overrides the
+// engine-level cache. Pass nil to detach. Not safe to call concurrently
+// with queries.
+func (e *Engine) EnableCache(c *Cache) { e.cache = c }
+
+// withCache defaults opts.Cache to the engine-level cache installed by
+// EnableCache; an explicit per-query Options.Cache wins.
+func (e *Engine) withCache(opts Options) Options {
+	if opts.Cache == nil {
+		opts.Cache = e.cache
+	}
+	return opts
 }
 
 // EnableTelemetry attaches sink to the engine: every subsequent query
@@ -456,6 +500,7 @@ func (e *Engine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Metrics, er
 // query returns ctx.Err() with nil results and the metrics accumulated so
 // far. RDS is exactly RDSContext with context.Background().
 func (e *Engine) RDSContext(ctx context.Context, query []ConceptID, opts Options) ([]Result, *Metrics, error) {
+	opts = e.withCache(opts)
 	done := e.instrument("rds", &opts)
 	res, m, err := e.inner.RDSContext(ctx, query, opts)
 	if done != nil {
@@ -467,6 +512,7 @@ func (e *Engine) RDSContext(ctx context.Context, query []ConceptID, opts Options
 // SDSContext is SDS under a caller context; see RDSContext for the
 // cancellation contract.
 func (e *Engine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Options) ([]Result, *Metrics, error) {
+	opts = e.withCache(opts)
 	done := e.instrument("sds", &opts)
 	res, m, err := e.inner.SDSContext(ctx, queryDoc, opts)
 	if done != nil {
@@ -482,13 +528,13 @@ func (e *Engine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Opti
 // queries are not per-query telemetry-recorded (like the batch entry
 // points); install Options.Trace for span-level observation.
 func (e *Engine) OpenRDS(query []ConceptID, opts Options) (*Cursor, error) {
-	return e.inner.OpenRDS(query, opts)
+	return e.inner.OpenRDS(query, e.withCache(opts))
 }
 
 // OpenSDS plans a similar-document query as a resumable cursor; see
 // OpenRDS.
 func (e *Engine) OpenSDS(queryDoc []ConceptID, opts Options) (*Cursor, error) {
-	return e.inner.OpenSDS(queryDoc, opts)
+	return e.inner.OpenSDS(queryDoc, e.withCache(opts))
 }
 
 // NewBatchRDS prepares a resumable batch of RDS queries over per-query
@@ -497,12 +543,12 @@ func (e *Engine) OpenSDS(queryDoc []ConceptID, opts Options) (*Cursor, error) {
 // exposes each query's cursor (e.g. to GrowK individual queries after the
 // batch completes). Close the batch when done.
 func (e *Engine) NewBatchRDS(queries [][]ConceptID, opts Options) (*Batch, error) {
-	return e.inner.NewBatchRDS(queries, opts)
+	return e.inner.NewBatchRDS(queries, e.withCache(opts))
 }
 
 // NewBatchSDS prepares a resumable batch of SDS queries; see NewBatchRDS.
 func (e *Engine) NewBatchSDS(queryDocs [][]ConceptID, opts Options) (*Batch, error) {
-	return e.inner.NewBatchSDS(queryDocs, opts)
+	return e.inner.NewBatchSDS(queryDocs, e.withCache(opts))
 }
 
 // BatchRDS evaluates many RDS queries concurrently over a worker pool
@@ -512,12 +558,12 @@ func (e *Engine) NewBatchSDS(queryDocs [][]ConceptID, opts Options) (*Batch, err
 // 1); set Options.Workers explicitly to stack intra-query parallelism on
 // top.
 func (e *Engine) BatchRDS(queries [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
-	return e.inner.BatchRDS(queries, opts, workers)
+	return e.inner.BatchRDS(queries, e.withCache(opts), workers)
 }
 
 // BatchSDS evaluates many SDS queries concurrently.
 func (e *Engine) BatchSDS(queryDocs [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
-	return e.inner.BatchSDS(queryDocs, opts, workers)
+	return e.inner.BatchSDS(queryDocs, e.withCache(opts), workers)
 }
 
 // BatchRDSContext is BatchRDS under a caller context: cancellation stops
@@ -526,12 +572,12 @@ func (e *Engine) BatchSDS(queryDocs [][]ConceptID, opts Options, workers int) ([
 // keep their results and Metrics (both non-nil); aborted or unscheduled
 // queries have both slots nil.
 func (e *Engine) BatchRDSContext(ctx context.Context, queries [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
-	return e.inner.BatchRDSContext(ctx, queries, opts, workers)
+	return e.inner.BatchRDSContext(ctx, queries, e.withCache(opts), workers)
 }
 
 // BatchSDSContext is BatchSDS under a caller context.
 func (e *Engine) BatchSDSContext(ctx context.Context, queryDocs [][]ConceptID, opts Options, workers int) ([][]Result, []*Metrics, error) {
-	return e.inner.BatchSDSContext(ctx, queryDocs, opts, workers)
+	return e.inner.BatchSDSContext(ctx, queryDocs, e.withCache(opts), workers)
 }
 
 // FullScanRDS ranks by scanning the whole collection (the evaluation

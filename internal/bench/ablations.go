@@ -245,14 +245,18 @@ func All(env *Env) ([]*Table, error) {
 		}
 		out = append(out, tbl)
 	}
-	return out, nil
+	ct, err := CacheSweep(env)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, ct...), nil
 }
 
 // Experiment names accepted by Run.
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
 	"dedup", "queue", "skip", "store", "ta", "parallel", "shard",
-	"telemetry", "cursor", "all",
+	"telemetry", "cursor", "cache", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -310,6 +314,8 @@ func Run(env *Env, name string) ([]*Table, error) {
 	case "cursor":
 		t, err := CursorResume(env)
 		return []*Table{t}, err
+	case "cache":
+		return CacheSweep(env)
 	case "all", "":
 		return All(env)
 	}

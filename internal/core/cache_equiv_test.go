@@ -1,0 +1,382 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"conceptrank/internal/cache"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/distance"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+)
+
+// The cached-vs-cold equivalence suite: attaching Options.Cache must never
+// change a ranking — not on a cold cache (miss-build path), not on a warm
+// one (hit-inject path), not after incremental refresh (generation
+// invalidation), not across cursor GrowK/Next resumes, and not under
+// concurrent queries + AddDocument.
+
+func sameRanking(t *testing.T, label string, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d\nwant %v\ngot  %v", label, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: result %d = %+v, want %+v\nwant %v\ngot  %v",
+				label, i, got[i], want[i], want, got)
+		}
+	}
+}
+
+// TestSeedVectorMatchesBruteForce pins the seed builder to the
+// independently computed valid-path distance: for every (query concept,
+// document) pair, the vector's entry must equal the minimum
+// distance.ConceptDistance over the document's concepts.
+func TestSeedVectorMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		o := randomDAGOntology(r, 10+r.Intn(90), 0.3)
+		coll := randomCollection(r, o, 1+r.Intn(40), 6)
+		e := memEngine(o, coll)
+		c := ontology.ConceptID(r.Intn(o.NumConcepts()))
+		vec, err := e.buildSeedVector(c, coll.NumDocs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byDoc := make(map[corpus.DocID]int32, len(vec))
+		for i, dd := range vec {
+			if i > 0 && vec[i-1].Doc >= dd.Doc {
+				t.Fatalf("trial %d: vector not ascending at %d: %v", trial, i, vec)
+			}
+			byDoc[dd.Doc] = dd.Dist
+		}
+		for _, d := range coll.Docs() {
+			want := int32(infDist)
+			for _, dc := range d.Concepts {
+				if dist := int32(distance.ConceptDistance(o, c, dc)); dist < want {
+					want = dist
+				}
+			}
+			got, ok := byDoc[d.ID]
+			if want == infDist {
+				if ok {
+					t.Fatalf("trial %d: doc %d unreachable from %d but in vector (dist %d)", trial, d.ID, c, got)
+				}
+				continue
+			}
+			if !ok || got != want {
+				t.Fatalf("trial %d: Ddc(doc %d, concept %d) = %d (present=%v), want %d",
+					trial, d.ID, c, got, ok, want)
+			}
+		}
+	}
+}
+
+// TestCachedMatchesColdGrid is the central equivalence property: the same
+// query, cold vs cold-cache (miss path) vs warm-cache (hit path), across
+// k / threshold / queue-limit / worker settings, must return bitwise-
+// identical rankings — and the warm pass must be all hits with no BFS.
+func TestCachedMatchesColdGrid(t *testing.T) {
+	r := rand.New(rand.NewSource(991))
+	var (
+		ks         = []int{1, 5, 25}
+		thresholds = []float64{0, 0.5, 1}
+	)
+	cases := 0
+	for trial := 0; trial < 12; trial++ {
+		o := randomDAGOntology(r, 10+r.Intn(110), 0.3)
+		coll := randomCollection(r, o, 5+r.Intn(50), 8)
+		e := memEngine(o, coll)
+		cc := cache.New(cache.Config{})
+		for _, k := range ks {
+			for _, eps := range thresholds {
+				q := make([]ontology.ConceptID, 1+r.Intn(4))
+				for j := range q {
+					q[j] = ontology.ConceptID(r.Intn(o.NumConcepts()))
+				}
+				opts := Options{
+					K:                 k,
+					ErrorThreshold:    eps,
+					QueueLimit:        []int{0, 7, 50000}[cases%3],
+					Workers:           []int{1, 4}[cases%2],
+					NoSkipWhenCovered: cases%5 == 0,
+				}
+				label := fmt.Sprintf("case %d (k=%d eps=%v ql=%d w=%d)", cases, k, eps, opts.QueueLimit, opts.Workers)
+				cold, _, err := e.RDS(q, opts)
+				if err != nil {
+					t.Fatalf("%s: cold: %v", label, err)
+				}
+				cachedOpts := opts
+				cachedOpts.Cache = cc
+				first, m1, err := e.RDS(q, cachedOpts)
+				if err != nil {
+					t.Fatalf("%s: cached first pass: %v", label, err)
+				}
+				sameRanking(t, label+" first cached pass", cold, first)
+				warm, m2, err := e.RDS(q, cachedOpts)
+				if err != nil {
+					t.Fatalf("%s: cached warm pass: %v", label, err)
+				}
+				sameRanking(t, label+" warm pass", cold, warm)
+				nq := len(dedupConcepts(q))
+				if m1.CacheHits+m1.CacheMisses != nq || m2.CacheHits != nq || m2.CacheMisses != 0 {
+					t.Fatalf("%s: cache counters first=%d/%d warm=%d/%d, nq=%d",
+						label, m1.CacheHits, m1.CacheMisses, m2.CacheHits, m2.CacheMisses, nq)
+				}
+				if m2.NodesVisited != 0 {
+					t.Fatalf("%s: warm pass visited %d BFS nodes, want 0", label, m2.NodesVisited)
+				}
+				checkTopK(t, o, coll, dedupConcepts(q), false, k, warm)
+				cases++
+			}
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("grid covered only %d cases, floor is 100", cases)
+	}
+}
+
+// TestCachedSDSIgnoresCache pins the documented SDS contract: the cache
+// is a no-op for similarity queries — same results, no counters.
+func TestCachedSDSIgnoresCache(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	o := randomDAGOntology(r, 80, 0.3)
+	coll := randomCollection(r, o, 40, 6)
+	e := memEngine(o, coll)
+	cc := cache.New(cache.Config{})
+	q := coll.Doc(3).Concepts
+	cold, _, err := e.SDS(q, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, m, err := e.SDS(q, Options{K: 10, Cache: cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRanking(t, "sds", cold, cached)
+	if m.CacheHits != 0 || m.CacheMisses != 0 || cc.Len() != 0 {
+		t.Fatalf("SDS touched the cache: hits=%d misses=%d entries=%d", m.CacheHits, m.CacheMisses, cc.Len())
+	}
+}
+
+// TestCachedCursorGrowKAndNext: a warm-cache cursor grown from k to k'
+// must match a fresh cold query at k', and Next pagination over a cached
+// cursor must walk the same canonical order.
+func TestCachedCursorGrowKAndNext(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		o := randomDAGOntology(r, 20+r.Intn(100), 0.3)
+		coll := randomCollection(r, o, 10+r.Intn(50), 8)
+		e := memEngine(o, coll)
+		cc := cache.New(cache.Config{})
+		q := make([]ontology.ConceptID, 1+r.Intn(3))
+		for j := range q {
+			q[j] = ontology.ConceptID(r.Intn(o.NumConcepts()))
+		}
+		k1 := 1 + r.Intn(5)
+		k2 := k1 + 1 + r.Intn(20)
+		eps := []float64{0, 0.5, 1}[trial%3]
+
+		// Warm the cache, then open a cached cursor at k1 and grow it.
+		if _, _, err := e.RDS(q, Options{K: 1, ErrorThreshold: eps, Cache: cc}); err != nil {
+			t.Fatal(err)
+		}
+		cur, err := e.OpenRDS(q, Options{K: k1, ErrorThreshold: eps, Cache: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, _, err := cur.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldSmall, _, err := e.RDS(q, Options{K: k1, ErrorThreshold: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRanking(t, fmt.Sprintf("trial %d k1", trial), coldSmall, small)
+		grown, err := cur.GrowK(context.Background(), k2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldBig, _, err := e.RDS(q, Options{K: k2, ErrorThreshold: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRanking(t, fmt.Sprintf("trial %d grow %d->%d", trial, k1, k2), coldBig, grown)
+		cur.Close()
+
+		// Page a fresh warm cursor with Next: pagination auto-grows k, so
+		// the full walk must equal a cold query over every rankable doc,
+		// with coldBig as its prefix.
+		cur2, err := e.OpenRDS(q, Options{K: k2, ErrorThreshold: eps, Cache: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paged []Result
+		for {
+			page, err := cur2.Next(context.Background(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(page) == 0 {
+				break
+			}
+			paged = append(paged, page...)
+		}
+		cur2.Close()
+		sameRanking(t, fmt.Sprintf("trial %d paged prefix", trial), coldBig, paged[:len(coldBig)])
+		coldAll, _, err := e.RDS(q, Options{K: coll.NumDocs(), ErrorThreshold: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRanking(t, fmt.Sprintf("trial %d paged full walk", trial), coldAll, paged)
+	}
+}
+
+// dynamicEngine builds a growable engine plus its index for the
+// invalidation tests.
+func dynamicEngine(o *ontology.Ontology) (*Engine, *index.Dynamic) {
+	dyn := index.NewDynamic()
+	return NewEngineDynamic(o, dyn, dyn, dyn.NumDocs, nil), dyn
+}
+
+// TestCacheInvalidationOnAddDocument: entries cached at generation g must
+// serve queries at generation g' > g through incremental refresh, with
+// rankings identical to a cold engine over the grown corpus.
+func TestCacheInvalidationOnAddDocument(t *testing.T) {
+	r := rand.New(rand.NewSource(515))
+	for trial := 0; trial < 15; trial++ {
+		o := randomDAGOntology(r, 20+r.Intn(80), 0.3)
+		e, dyn := dynamicEngine(o)
+		cc := cache.New(cache.Config{})
+		coll := corpus.New()
+		addDoc := func() {
+			n := 1 + r.Intn(6)
+			concepts := make([]ontology.ConceptID, n)
+			for j := range concepts {
+				concepts[j] = ontology.ConceptID(r.Intn(o.NumConcepts()))
+			}
+			dyn.AddDocument("doc", concepts)
+			coll.Add("doc", 0, concepts)
+		}
+		for i := 0; i < 10+r.Intn(20); i++ {
+			addDoc()
+		}
+		q := make([]ontology.ConceptID, 1+r.Intn(3))
+		for j := range q {
+			q[j] = ontology.ConceptID(r.Intn(o.NumConcepts()))
+		}
+		opts := Options{K: 8, ErrorThreshold: 0.5, Cache: cc}
+		if _, _, err := e.RDS(q, opts); err != nil {
+			t.Fatal(err)
+		}
+		// Grow the corpus: the cached vectors are now stale.
+		grow := 1 + r.Intn(15)
+		for i := 0; i < grow; i++ {
+			addDoc()
+		}
+		before := cc.Stats()
+		cached, m, err := e.RDS(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := cc.Stats()
+		nq := len(dedupConcepts(q))
+		if m.CacheHits != nq || m.CacheMisses != 0 {
+			t.Fatalf("trial %d: stale entries not served as hits: %d/%d", trial, m.CacheHits, m.CacheMisses)
+		}
+		if got := after.SeedRefreshes - before.SeedRefreshes; got != int64(nq) {
+			t.Fatalf("trial %d: %d refreshes, want %d", trial, got, nq)
+		}
+		coldEngine := memEngine(o, coll)
+		cold, _, err := coldEngine.RDS(q, Options{K: 8, ErrorThreshold: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRanking(t, fmt.Sprintf("trial %d post-add", trial), cold, cached)
+		checkTopK(t, o, coll, dedupConcepts(q), false, 8, cached)
+	}
+}
+
+// TestCacheConcurrentQueriesAndAddDocument races cached queries against
+// AddDocument on one shared cache (run under -race). Each in-flight query
+// answers over some consistent snapshot; after quiescing, a final cached
+// query must match a cold engine over the final corpus.
+func TestCacheConcurrentQueriesAndAddDocument(t *testing.T) {
+	r := rand.New(rand.NewSource(333))
+	o := randomDAGOntology(r, 120, 0.3)
+	e, dyn := dynamicEngine(o)
+	cc := cache.New(cache.Config{})
+	coll := corpus.New()
+	var collMu sync.Mutex
+	addDoc := func(rr *rand.Rand) {
+		n := 1 + rr.Intn(6)
+		concepts := make([]ontology.ConceptID, n)
+		for j := range concepts {
+			concepts[j] = ontology.ConceptID(rr.Intn(o.NumConcepts()))
+		}
+		collMu.Lock()
+		dyn.AddDocument("doc", concepts)
+		coll.Add("doc", 0, concepts)
+		collMu.Unlock()
+	}
+	seedRand := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		addDoc(seedRand)
+	}
+	queries := make([][]ontology.ConceptID, 8)
+	for i := range queries {
+		queries[i] = []ontology.ConceptID{
+			ontology.ConceptID(r.Intn(o.NumConcepts())),
+			ontology.ConceptID(r.Intn(o.NumConcepts())),
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				q := queries[rr.Intn(len(queries))]
+				if _, _, err := e.RDS(q, Options{K: 5, ErrorThreshold: 0.5, Cache: cc}); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rr := rand.New(rand.NewSource(7))
+		for i := 0; i < 60; i++ {
+			addDoc(rr)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := cc.Stats()
+	if st.SeedHits+st.SeedMisses == 0 {
+		t.Fatal("cache never consulted")
+	}
+	coldEngine := memEngine(o, coll)
+	for _, q := range queries {
+		cached, _, err := e.RDS(q, Options{K: 5, ErrorThreshold: 0.5, Cache: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, _, err := coldEngine.RDS(q, Options{K: 5, ErrorThreshold: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRanking(t, "quiesced", cold, cached)
+	}
+}

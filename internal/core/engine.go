@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"time"
 
+	"conceptrank/internal/cache"
 	"conceptrank/internal/corpus"
 	"conceptrank/internal/drc"
 	"conceptrank/internal/index"
@@ -117,6 +118,19 @@ type Options struct {
 	// progress to the cross-shard early-termination check. Like Progressive
 	// it is invoked sequentially from the goroutine running the query.
 	OnBound func(dMinus float64)
+	// Cache, when non-nil, attaches the shared semantic-distance cache to
+	// the plan stage: each RDS query concept's Ddc seed vector (Eq. 1 to
+	// every document) is served from the cache, refreshed incrementally
+	// when the corpus grew past the vector's generation, or built and
+	// stored on a miss. Seeded origins skip BFS traversal entirely — their
+	// coverage is injected into the bound table as the exact distances the
+	// traversal would have accumulated — so rankings are bitwise identical
+	// to an uncached query (see DESIGN.md, "Distance caching"). One cache
+	// may be shared by any number of engines (the sharded engine passes it
+	// through to every shard); entries are keyed per engine. SDS queries
+	// ignore the cache: the symmetric distance needs per-document concept
+	// coverage (M'd of Eq. 7) that a seed vector does not carry.
+	Cache *cache.Cache
 	// Trace, when non-nil, receives typed span events (see TraceKind) with
 	// monotonic timestamps: WaveStart/WaveEnd around each BFS depth level,
 	// DRCProbe per exact-distance examination, ForcedExam on queue-limit
@@ -186,6 +200,14 @@ type Metrics struct {
 	ForcedExams    int   // examination phases forced by the queue limit
 	ResultCount    int
 
+	// CacheHits / CacheMisses count the plan stage's seed-vector lookups
+	// against Options.Cache: one per deduplicated RDS query concept. A
+	// stale entry that was refreshed incrementally counts as a hit (the
+	// bulk of the vector was reused); a miss builds and stores the vector.
+	// Both are zero when no cache is attached and for SDS queries.
+	CacheHits   int
+	CacheMisses int
+
 	// SpeculativeDRC counts the exact-distance computations scheduled on
 	// the worker pool (Workers > 1). It is >= the share of DRCCalls served
 	// from the speculation cache; the excess is wasted speculative work.
@@ -225,6 +247,11 @@ type Engine struct {
 	// concurrency-safe and capped. Disabled per query by Options.MaxPaths
 	// (capped enumerations must not pollute the uncapped cache).
 	addrCache *drc.AddressCache
+	// cacheID is this engine's identity in a shared semantic-distance
+	// cache (Options.Cache): seed vectors describe one corpus, so every
+	// engine — including each shard of a sharded engine — keys its entries
+	// under a distinct ID.
+	cacheID uint64
 }
 
 // NewEngine assembles an engine over a fixed-size collection. io may be
@@ -240,7 +267,8 @@ func NewEngine(o *ontology.Ontology, inv index.Inverted, fwd index.Forward, numD
 // immediately). numDocs is sampled once per query.
 func NewEngineDynamic(o *ontology.Ontology, inv index.Inverted, fwd index.Forward, numDocs func() int, io *store.IOStats) *Engine {
 	return &Engine{o: o, inv: inv, fwd: fwd, numDocs: numDocs, io: io,
-		addrCache: drc.NewAddressCache(o, 0, 0)}
+		addrCache: drc.NewAddressCache(o, 0, 0),
+		cacheID:   nextCacheID.Add(1)}
 }
 
 // ErrEmptyQuery is returned for queries with no concepts.

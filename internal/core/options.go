@@ -6,6 +6,8 @@ package core
 // Options remains the exhaustive configuration surface; functional options
 // cover the knobs callers actually tune per call.
 
+import "conceptrank/internal/cache"
+
 // Option mutates an Options value; apply a list with NewOptions or
 // Options.With.
 type Option func(*Options)
@@ -26,6 +28,12 @@ func WithQueueLimit(n int) Option { return func(o *Options) { o.QueueLimit = n }
 // WithTrace installs a per-query span-event hook (Options.Trace). Tracing
 // is observation-only; a nil hook costs one branch per would-be event.
 func WithTrace(fn TraceFunc) Option { return func(o *Options) { o.Trace = fn } }
+
+// WithCache attaches a shared semantic-distance cache to the query's plan
+// stage (Options.Cache): RDS seed vectors and concept-pair distances are
+// served from c, with generation-based invalidation for growing corpora.
+// Rankings are bitwise identical with and without a cache.
+func WithCache(c *cache.Cache) Option { return func(o *Options) { o.Cache = c } }
 
 // NewOptions builds an Options value by applying opts over the zero value.
 // The result is not normalized; queries normalize on entry as usual.

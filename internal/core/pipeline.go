@@ -125,12 +125,19 @@ type waveStepper struct {
 	visited map[uint64]uint8
 }
 
-func newWaveStepper(o *ontology.Ontology, q []ontology.ConceptID, dedup bool) *waveStepper {
+// newWaveStepper seeds the frontier with every query origin except those
+// marked in seeded (may be nil): a seeded origin's complete coverage was
+// injected into the bound table from a cached Ddc vector, so running its
+// BFS would only rediscover distances the table already holds.
+func newWaveStepper(o *ontology.Ontology, q []ontology.ConceptID, dedup bool, seeded []bool) *waveStepper {
 	w := &waveStepper{o: o}
 	if dedup {
 		w.visited = make(map[uint64]uint8)
 	}
 	for i, qi := range q {
+		if seeded != nil && seeded[i] {
+			continue
+		}
 		w.push(bfsState{node: qi, origin: int32(i), depth: 0, down: false})
 	}
 	return w
@@ -399,12 +406,30 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 	if err != nil {
 		return nil, m, err
 	}
+	// Resolve cached Ddc seed vectors (nil without Options.Cache). Seeded
+	// origins are excluded from the BFS frontier; their exact coverage is
+	// injected into the bound table below, before the first wave.
+	seeds, err := e.loadSeeds(p, &tr, m)
+	if err != nil {
+		return nil, m, err
+	}
+	// loadSeeds resolves every origin or none, so a non-nil seeds slice
+	// means the whole frontier is replaced by injection (an empty vector is
+	// a valid seed: no document contains a concept reachable from that
+	// origin, which is exactly what its BFS would have found).
+	var seeded []bool
+	if seeds != nil {
+		seeded = make([]bool, len(seeds))
+		for i := range seeded {
+			seeded[i] = true
+		}
+	}
 	x := &executor{
 		e:    e,
 		p:    p,
 		m:    m,
 		tr:   tr,
-		step: newWaveStepper(e.o, p.q, opts.DedupVisits),
+		step: newWaveStepper(e.o, p.q, opts.DedupVisits, seeded),
 		bt:   newBoundTable(sds, p.nq),
 		coll: newCollector(opts.K),
 		spec: newSpeculator(e, sds, p.prep, p.nq, opts, p.policy, m),
@@ -414,6 +439,13 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 		maxWaves:   2*(2*e.o.MaxDepth()+4) + 8,
 		lastPause:  -1,
 		lastDMinus: math.Inf(1),
+	}
+	if seeds != nil {
+		t0 := time.Now()
+		for i, docs := range seeds {
+			x.bt.injectSeed(int32(i), docs, p.totalDocs, m)
+		}
+		m.TraversalTime += time.Since(t0)
 	}
 	return x, m, nil
 }

@@ -1,0 +1,264 @@
+package core
+
+// The plan stage's attachment to the shared semantic-distance cache
+// (internal/cache): concept→Ddc seed vectors and their generation-based
+// invalidation.
+//
+// A seed vector for query concept c is the exact Eq. 1 distance from c to
+// every document of the corpus — precisely the coverage the origin's BFS
+// would accumulate at first contact, because a breadth-first traversal
+// over valid (up* down*) paths reaches each concept at its minimal valid-
+// path distance. A cached origin therefore skips traversal entirely: its
+// vector is injected into the bound table up front, the wave stepper never
+// seeds it, and every partial distance, lower bound and exact distance the
+// pipeline derives afterwards is identical to the uncached run's. kNDS
+// returns the canonical (distance, doc ID) top-k whenever its bounds are
+// valid and its exact distances exact — both unchanged here — so cached
+// and cold rankings are bitwise identical even though the examination
+// schedule (and thus the counters) differ.
+//
+// Invalidation is generational: a corpus is append-only (DynamicEngine
+// only adds documents), so the document count is the generation. A vector
+// built at generation g is complete for documents [0, g); when a query
+// plans against a larger snapshot, only the new documents' distances are
+// computed — via the concept-pair side of the cache — and appended
+// copy-on-write. Concurrent refreshers race benignly: vectors for the
+// same (engine, concept, generation) are deterministic, and the cache
+// keeps the newest generation.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"conceptrank/internal/cache"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+)
+
+// nextCacheID hands every engine a distinct identity for its seed keys in
+// a shared cache (see Engine.cacheID).
+var nextCacheID atomic.Uint64
+
+// ontoIDs namespaces concept-pair entries per ontology: engines sharing
+// one *Ontology (e.g. the shards of a sharded engine) share pair
+// distances, while engines over different ontologies never collide. The
+// map holds one small entry per distinct ontology for the process
+// lifetime — engines are long-lived, so this does not accumulate.
+var (
+	ontoIDs    sync.Map // *ontology.Ontology -> uint64
+	nextOntoID atomic.Uint64
+)
+
+func ontologyID(o *ontology.Ontology) uint64 {
+	if v, ok := ontoIDs.Load(o); ok {
+		return v.(uint64)
+	}
+	v, _ := ontoIDs.LoadOrStore(o, nextOntoID.Add(1))
+	return v.(uint64)
+}
+
+// infDist marks "no valid path" during seed construction. Matches
+// drc.Inf's magnitude but stays int32-typed for the dense arrays.
+const infDist = int32(math.MaxInt32)
+
+// validPathDistances computes, for every concept v, the length of the
+// shortest valid (up* down*) path from c to v, or infDist when none
+// exists. Two phases, both linear: an ascend-only BFS via Parents fixes
+// the up-distances, then a bucket-queue relaxation (Dijkstra with unit
+// edges) descends via Children from every ancestor in ascending-distance
+// order. The result over all v is exactly the first-contact depth the
+// pipeline's waveStepper would record for origin c.
+func validPathDistances(o *ontology.Ontology, c ontology.ConceptID) []int32 {
+	n := o.NumConcepts()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = infDist
+	}
+	// Phase 1: ascend. BFS via Parents; dist holds the minimal number of
+	// up-edges to each ancestor of c (including c at 0).
+	up := make([]ontology.ConceptID, 0, 64)
+	up = append(up, c)
+	dist[c] = 0
+	for head := 0; head < len(up); head++ {
+		u := up[head]
+		for _, p := range o.Parents(u) {
+			if dist[p] == infDist {
+				dist[p] = dist[u] + 1
+				up = append(up, p)
+			}
+		}
+	}
+	// Phase 2: descend. Every ancestor is a source at its up-distance;
+	// both phases follow simple paths, so a valid-path distance is below
+	// 2n and the bucket array bounded by 2n+2 covers every level.
+	buckets := make([][]ontology.ConceptID, 2*n+2)
+	for _, u := range up {
+		buckets[dist[u]] = append(buckets[dist[u]], u)
+	}
+	for d := 0; d < len(buckets); d++ {
+		for i := 0; i < len(buckets[d]); i++ {
+			v := buckets[d][i]
+			if dist[v] != int32(d) {
+				continue // superseded by a shorter path
+			}
+			nd := int32(d + 1)
+			for _, ch := range o.Children(v) {
+				if nd < dist[ch] && d+1 < len(buckets) {
+					dist[ch] = nd
+					buckets[d+1] = append(buckets[d+1], ch)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// buildSeedVector computes the full concept→Ddc vector for origin c over
+// documents [0, gen): one valid-path distance sweep over the ontology,
+// then a postings scan folding each reachable concept's distance into its
+// documents' minimum. Documents indexed past the gen snapshot (concurrent
+// AddDocument) are excluded — the vector must be complete for exactly
+// [0, gen) to honor its generation stamp.
+func (e *Engine) buildSeedVector(c ontology.ConceptID, gen int) ([]cache.DocDist, error) {
+	dist := validPathDistances(e.o, c)
+	vec := make([]int32, gen)
+	for i := range vec {
+		vec[i] = infDist
+	}
+	for v, dv := range dist {
+		if dv == infDist {
+			continue
+		}
+		postings, err := e.inv.Postings(ontology.ConceptID(v))
+		if err != nil {
+			return nil, fmt.Errorf("core: postings(%d): %w", v, err)
+		}
+		for _, doc := range postings {
+			if int(doc) >= gen {
+				break // postings are ascending; the rest is past the snapshot
+			}
+			if dv < vec[doc] {
+				vec[doc] = dv
+			}
+		}
+	}
+	out := make([]cache.DocDist, 0, gen)
+	for doc, dv := range vec {
+		if dv != infDist {
+			out = append(out, cache.DocDist{Doc: corpus.DocID(doc), Dist: dv})
+		}
+	}
+	return out, nil
+}
+
+// refreshSeed extends a stale seed vector to generation gen: only the new
+// documents [old.Gen, gen) are computed — each one's Ddc is the minimum
+// concept-pair distance from the origin to the document's concepts,
+// served from the cache's pair side and backfilled from a single
+// valid-path sweep on the first miss. The old vector is shared, not
+// copied: document IDs are assigned in insertion order, so appending past
+// a full-slice-expression keeps the result sorted and leaves concurrent
+// readers of the old entry undisturbed.
+func (e *Engine) refreshSeed(cc *cache.Cache, c ontology.ConceptID, old cache.Seed, gen int) ([]cache.DocDist, error) {
+	ns := ontologyID(e.o)
+	out := old.Docs[:len(old.Docs):len(old.Docs)]
+	var dist []int32 // computed at most once per refresh
+	for doc := old.Gen; doc < gen; doc++ {
+		concepts, err := e.fwd.Concepts(corpus.DocID(doc))
+		if err != nil {
+			return nil, fmt.Errorf("core: forward(%d): %w", doc, err)
+		}
+		best := infDist
+		for _, dc := range concepts {
+			d, ok := cc.GetPair(ns, uint32(c), uint32(dc))
+			if !ok {
+				if dist == nil {
+					dist = validPathDistances(e.o, c)
+				}
+				d = dist[dc]
+				cc.PutPair(ns, uint32(c), uint32(dc), d)
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best != infDist {
+			out = append(out, cache.DocDist{Doc: corpus.DocID(doc), Dist: best})
+		}
+	}
+	return out, nil
+}
+
+// loadSeeds resolves the plan's query concepts against Options.Cache:
+// seeds[i] is origin i's Ddc vector (hit, incremental refresh, or
+// miss-build — misses are stored for the next query, doorkeeper
+// permitting). Returns nil when caching is off or the query is SDS (the
+// symmetric distance needs direction-B coverage a seed vector lacks).
+// Seed time is attributed to TraversalTime — it replaces traversal work.
+func (e *Engine) loadSeeds(p *queryPlan, tr *tracer, m *Metrics) ([][]cache.DocDist, error) {
+	cc := p.opts.Cache
+	if cc == nil || p.sds {
+		return nil, nil
+	}
+	t0 := time.Now()
+	defer func() { m.TraversalTime += time.Since(t0) }()
+	seeds := make([][]cache.DocDist, len(p.q))
+	for i, c := range p.q {
+		s, ok := cc.GetSeed(e.cacheID, uint32(c))
+		if ok && s.Gen < p.totalDocs {
+			docs, err := e.refreshSeed(cc, c, s, p.totalDocs)
+			if err != nil {
+				return nil, err
+			}
+			s = cache.Seed{Gen: p.totalDocs, Docs: docs}
+			cc.PutSeed(e.cacheID, uint32(c), s)
+		}
+		if ok {
+			m.CacheHits++
+			tr.emit(TraceEvent{Kind: TraceCacheHit, N: int(c), Value: float64(len(s.Docs))})
+		} else {
+			docs, err := e.buildSeedVector(c, p.totalDocs)
+			if err != nil {
+				return nil, err
+			}
+			s = cache.Seed{Gen: p.totalDocs, Docs: docs}
+			cc.PutSeed(e.cacheID, uint32(c), s)
+			m.CacheMisses++
+			tr.emit(TraceEvent{Kind: TraceCacheMiss, N: int(c), Value: float64(len(s.Docs))})
+		}
+		seeds[i] = s.Docs
+	}
+	return seeds, nil
+}
+
+// injectSeed pre-covers origin from a seed vector: every listed document
+// inside the plan's snapshot gets its exact Eq. 1 distance — the same
+// (first-contact) coverage the origin's BFS would have produced, recorded
+// before the first wave. Entries at or past totalDocs come from a vector
+// refreshed beyond this query's snapshot and are skipped: the snapshot
+// decides what this query can see.
+func (b *boundTable) injectSeed(origin int32, docs []cache.DocDist, totalDocs int, m *Metrics) {
+	for _, dd := range docs {
+		if int(dd.Doc) >= totalDocs {
+			break // ascending by Doc
+		}
+		st := b.states[dd.Doc]
+		if st == nil {
+			st = &docState{coveredA: make([]int32, b.nq)}
+			for j := range st.coveredA {
+				st.coveredA[j] = unset
+			}
+			b.states[dd.Doc] = st
+			b.live = append(b.live, dd.Doc)
+			m.DocsDiscovered++
+		}
+		if st.coveredA[origin] == unset {
+			st.coveredA[origin] = dd.Dist
+			st.nCoveredA++
+			st.sumA += int64(dd.Dist)
+		}
+	}
+}

@@ -58,6 +58,15 @@ const (
 	// return: N is the fan-out width (shards queried) and Value the number
 	// of shards cancelled early by the cross-shard bound.
 	TraceShardMerge
+	// TraceCacheHit is emitted during the plan stage for each query
+	// concept whose Ddc seed vector was served from Options.Cache
+	// (including incrementally refreshed stale entries). N is the concept
+	// ID; Value the vector length.
+	TraceCacheHit
+	// TraceCacheMiss is emitted for each query concept whose seed vector
+	// had to be built (and was then stored). N is the concept ID; Value
+	// the vector length.
+	TraceCacheMiss
 )
 
 // String names the kind for logs and /debug/slowlog output.
@@ -79,6 +88,10 @@ func (k TraceKind) String() string {
 		return "ShardDispatch"
 	case TraceShardMerge:
 		return "ShardMerge"
+	case TraceCacheHit:
+		return "CacheHit"
+	case TraceCacheMiss:
+		return "CacheMiss"
 	}
 	return "TraceKind(?)"
 }

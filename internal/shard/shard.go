@@ -264,6 +264,8 @@ func mergeMetrics(dst, src *core.Metrics) {
 	dst.DocsExamined += src.DocsExamined
 	dst.DRCCalls += src.DRCCalls
 	dst.ForcedExams += src.ForcedExams
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
 	dst.SpeculativeDRC += src.SpeculativeDRC
 	if src.TerminalEps > dst.TerminalEps {
 		dst.TerminalEps = src.TerminalEps

@@ -155,6 +155,10 @@ func TestMergeMetricsCoversAllFields(t *testing.T) {
 	if dst.DRCCalls != 2*src.DRCCalls {
 		t.Errorf("DRCCalls after two merges = %d, want %d", dst.DRCCalls, 2*src.DRCCalls)
 	}
+	if dst.CacheHits != 2*src.CacheHits || dst.CacheMisses != 2*src.CacheMisses {
+		t.Errorf("cache counters after two merges = %d/%d, want %d/%d",
+			dst.CacheHits, dst.CacheMisses, 2*src.CacheHits, 2*src.CacheMisses)
+	}
 	if dst.TerminalEps != src.TerminalEps {
 		t.Errorf("TerminalEps after merging a smaller value = %v, want max %v", dst.TerminalEps, src.TerminalEps)
 	}

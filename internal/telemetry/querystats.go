@@ -35,6 +35,8 @@ type QueryStats struct {
 	DocsExamined *Histogram // <prefix>_query_docs_examined
 	TerminalEps  *Histogram // <prefix>_query_terminal_epsilon
 	ShardFanout  *Histogram // <prefix>_query_shard_fanout
+	CacheHits    *Counter   // <prefix>_query_cache_hits_total
+	CacheMisses  *Counter   // <prefix>_query_cache_misses_total
 }
 
 // NewQueryStats registers the query instruments under prefix (e.g.
@@ -51,6 +53,8 @@ func NewQueryStats(r *Registry, prefix string) *QueryStats {
 		DocsExamined: r.Histogram(prefix+"_query_docs_examined", "Documents examined per query.", CountBuckets),
 		TerminalEps:  r.Histogram(prefix+"_query_terminal_epsilon", "Termination slack eps_d per query (Metrics.TerminalEps).", EpsilonBuckets),
 		ShardFanout:  r.Histogram(prefix+"_query_shard_fanout", "Shards queried per sharded query.", FanoutBuckets),
+		CacheHits:    r.Counter(prefix+"_query_cache_hits_total", "Seed vectors served from the distance cache during query planning."),
+		CacheMisses:  r.Counter(prefix+"_query_cache_misses_total", "Seed vectors built cold during query planning."),
 	}
 }
 
@@ -70,6 +74,8 @@ func (q *QueryStats) Observe(m *core.Metrics, err error) {
 	q.Waves.Observe(float64(m.Iterations))
 	q.DRCCalls.Observe(float64(m.DRCCalls))
 	q.DocsExamined.Observe(float64(m.DocsExamined))
+	q.CacheHits.Add(int64(m.CacheHits))
+	q.CacheMisses.Add(int64(m.CacheMisses))
 	if err == nil {
 		// ε_d is defined at successful termination only; an aborted
 		// query's zero value would skew the distribution.

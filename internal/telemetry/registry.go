@@ -92,6 +92,19 @@ func (g *gaugeFunc) writeProm(b *strings.Builder, name, help string) {
 
 func (g *gaugeFunc) jsonValue() string { return formatFloat(g.fn()) }
 
+// counterFunc samples a callback at exposition time, exposed with TYPE
+// counter — for monotonic totals an external component already tracks
+// (e.g. cache hit counters) that would be wasteful to mirror.
+type counterFunc struct {
+	fn func() int64
+}
+
+func (c *counterFunc) writeProm(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.fn())
+}
+
+func (c *counterFunc) jsonValue() string { return strconv.FormatInt(c.fn(), 10) }
+
 // Histogram is a fixed-bucket distribution. Buckets are upper bounds in
 // ascending order; an implicit +Inf bucket catches the tail. Observe is a
 // linear scan over at most a few dozen bounds plus three atomic adds — no
@@ -263,6 +276,15 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	m := r.register(name, help, func() metric { return &gaugeFunc{fn: fn} })
 	if _, ok := m.(*gaugeFunc); !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
+	}
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// exposition time. fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	m := r.register(name, help, func() metric { return &counterFunc{fn: fn} })
+	if _, ok := m.(*counterFunc); !ok {
 		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
 	}
 }

@@ -1,10 +1,13 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"conceptrank/internal/cache"
 )
 
 // Handler returns the introspection mux:
@@ -12,6 +15,7 @@ import (
 //	/metrics        Prometheus text exposition of the sink's registry
 //	/debug/vars     the same metrics as one flat JSON object (expvar style)
 //	/debug/slowlog  the last N slow/failed queries with their span events
+//	/debug/cache    distance-cache stats snapshot (JSON; see AttachCache)
 //	/debug/pprof/*  the standard runtime profiles
 //
 // Everything is read-only; mount it on a loopback or otherwise trusted
@@ -30,6 +34,19 @@ func (s *Sink) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = s.Slow.WriteJSON(w)
 	})
+	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if s.cache == nil {
+			_, _ = fmt.Fprintln(w, `{"attached":false}`)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Attached bool `json:"attached"`
+			cache.Stats
+		}{Attached: true, Stats: s.cache.Stats()})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -44,6 +61,7 @@ func (s *Sink) Handler() http.Handler {
 			"/metrics        Prometheus exposition\n"+
 			"/debug/vars     JSON metrics snapshot\n"+
 			"/debug/slowlog  recent slow queries with span events\n"+
+			"/debug/cache    distance-cache stats snapshot\n"+
 			"/debug/pprof/   runtime profiles\n")
 	})
 	return mux

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"conceptrank/internal/cache"
 	"conceptrank/internal/core"
 )
 
@@ -35,6 +36,7 @@ type Sink struct {
 	Slow     *SlowLog
 
 	maxEvents int
+	cache     *cache.Cache // set by AttachCache; read by /debug/cache
 }
 
 // New builds a Sink from cfg (see Config for defaults) and registers the
@@ -73,6 +75,26 @@ func registerRuntimeGauges(r *Registry) {
 		runtime.ReadMemStats(&ms)
 		return float64(ms.HeapAlloc)
 	})
+}
+
+// AttachCache registers the semantic-distance cache's counters as
+// conceptrank_cache_* series (sampled at exposition time, so scrapes are
+// always current with zero hot-path cost) and wires the cache into the
+// /debug/cache endpoint. Attach at most one cache per sink; a second call
+// replaces the /debug/cache target but the exposition series stay bound
+// to the first cache (metric names are registry-global).
+func (s *Sink) AttachCache(c *cache.Cache) {
+	s.cache = c
+	r := s.Registry
+	r.CounterFunc("conceptrank_cache_seed_hits_total", "Seed-vector cache hits (any generation).", func() int64 { return c.Stats().SeedHits })
+	r.CounterFunc("conceptrank_cache_seed_misses_total", "Seed-vector cache misses.", func() int64 { return c.Stats().SeedMisses })
+	r.CounterFunc("conceptrank_cache_seed_refreshes_total", "Stale seed vectors advanced by incremental refresh.", func() int64 { return c.Stats().SeedRefreshes })
+	r.CounterFunc("conceptrank_cache_pair_hits_total", "Concept-pair distance cache hits.", func() int64 { return c.Stats().PairHits })
+	r.CounterFunc("conceptrank_cache_pair_misses_total", "Concept-pair distance cache misses.", func() int64 { return c.Stats().PairMisses })
+	r.CounterFunc("conceptrank_cache_evictions_total", "Entries evicted by the byte budget.", func() int64 { return c.Stats().Evictions })
+	r.CounterFunc("conceptrank_cache_rejected_total", "Insertions rejected by the admission doorkeeper.", func() int64 { return c.Stats().Rejected })
+	r.GaugeFunc("conceptrank_cache_bytes", "Approximate bytes held by the cache.", func() float64 { return float64(c.Stats().Bytes) })
+	r.GaugeFunc("conceptrank_cache_entries", "Entries currently held by the cache.", func() float64 { return float64(c.Stats().Entries) })
 }
 
 // Query opens a per-query recording: install the returned TraceFunc as

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"conceptrank/internal/cache"
 	"conceptrank/internal/core"
 )
 
@@ -212,5 +213,87 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 	if _, err := s.Serve(srv.Addr); err == nil {
 		t.Fatal("binding the same address twice must fail synchronously")
+	}
+}
+
+func TestAttachCacheExposition(t *testing.T) {
+	s := testSink(time.Second)
+	cc := cache.New(cache.Config{})
+	s.AttachCache(cc)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Drive the cache directly; the series sample it at exposition time.
+	cc.GetSeed(1, 7) // miss
+	cc.PutSeed(1, 7, cache.Seed{Gen: 3, Docs: []cache.DocDist{{Doc: 0, Dist: 2}}})
+	cc.GetSeed(1, 7) // hit
+	cc.PutPair(1, 2, 3, 4)
+	cc.GetPair(1, 2, 3) // hit
+
+	_, body := get("/metrics")
+	for _, want := range []string{
+		"# TYPE conceptrank_cache_seed_hits_total counter",
+		"conceptrank_cache_seed_hits_total 1",
+		"conceptrank_cache_seed_misses_total 1",
+		"conceptrank_cache_pair_hits_total 1",
+		"conceptrank_cache_entries 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body := get("/debug/cache")
+	var snap struct {
+		Attached bool
+		cache.Stats
+	}
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/debug/cache: %d\n%s", code, body)
+	}
+	if !snap.Attached || snap.SeedHits != 1 || snap.Entries != 2 {
+		t.Fatalf("/debug/cache snapshot: %+v", snap)
+	}
+}
+
+func TestDebugCacheWithoutAttach(t *testing.T) {
+	s := testSink(time.Second)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var snap struct{ Attached bool }
+	if resp.StatusCode != 200 || json.Unmarshal(body, &snap) != nil || snap.Attached {
+		t.Fatalf("/debug/cache without a cache: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestQueryStatsCacheCounters(t *testing.T) {
+	s := testSink(time.Second)
+	_, done := s.Query("rds", nil)
+	done(&core.Metrics{CacheHits: 3, CacheMisses: 2}, nil)
+	if got := s.Stats.CacheHits.Value(); got != 3 {
+		t.Fatalf("CacheHits = %d, want 3", got)
+	}
+	if got := s.Stats.CacheMisses.Value(); got != 2 {
+		t.Fatalf("CacheMisses = %d, want 2", got)
 	}
 }

@@ -3,6 +3,7 @@ package conceptrank
 import (
 	"context"
 
+	"conceptrank/internal/cache"
 	"conceptrank/internal/core"
 	"conceptrank/internal/shard"
 	"conceptrank/internal/telemetry"
@@ -57,6 +58,22 @@ type ShardedCursor = shard.Cursor
 type ShardedEngine struct {
 	inner *shard.Engine
 	tel   *telemetry.Sink
+	cache *cache.Cache
+}
+
+// EnableCache attaches a semantic-distance cache: Options.Cache
+// propagates to every shard's plan stage, so each shard caches its own
+// seed vectors while all shards share the concept-pair distances (they
+// share the ontology). Rankings are unchanged. A per-query Options.Cache
+// overrides the engine-level cache. Pass nil to detach. Not safe to call
+// concurrently with queries.
+func (e *ShardedEngine) EnableCache(c *Cache) { e.cache = c }
+
+func (e *ShardedEngine) withCache(opts Options) Options {
+	if opts.Cache == nil {
+		opts.Cache = e.cache
+	}
+	return opts
 }
 
 // EnableTelemetry attaches sink to the sharded engine: queries record
@@ -131,6 +148,7 @@ func (e *ShardedEngine) SDS(queryDoc []ConceptID, opts Options) ([]Result, *Shar
 // RDSContext is RDS under a caller context: cancellation propagates to
 // every shard and is observed at their wave boundaries.
 func (e *ShardedEngine) RDSContext(ctx context.Context, query []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
+	opts = e.withCache(opts)
 	done := e.instrument("sharded_rds", &opts)
 	res, sm, err := e.inner.RDSContext(ctx, query, opts)
 	if done != nil {
@@ -141,6 +159,7 @@ func (e *ShardedEngine) RDSContext(ctx context.Context, query []ConceptID, opts 
 
 // SDSContext is SDS under a caller context.
 func (e *ShardedEngine) SDSContext(ctx context.Context, queryDoc []ConceptID, opts Options) ([]Result, *ShardedMetrics, error) {
+	opts = e.withCache(opts)
 	done := e.instrument("sharded_sds", &opts)
 	res, sm, err := e.inner.SDSContext(ctx, queryDoc, opts)
 	if done != nil {
@@ -154,12 +173,12 @@ func (e *ShardedEngine) SDSContext(ctx context.Context, queryDoc []ConceptID, op
 // per-query telemetry-recorded; install Options.Trace for span events.
 // Close the cursor when done.
 func (e *ShardedEngine) OpenRDS(query []ConceptID, opts Options) (*ShardedCursor, error) {
-	return e.inner.OpenRDS(query, opts)
+	return e.inner.OpenRDS(query, e.withCache(opts))
 }
 
 // OpenSDS plans a similar-document query across all shards; see OpenRDS.
 func (e *ShardedEngine) OpenSDS(queryDoc []ConceptID, opts Options) (*ShardedCursor, error) {
-	return e.inner.OpenSDS(queryDoc, opts)
+	return e.inner.OpenSDS(queryDoc, e.withCache(opts))
 }
 
 func shardedMerged(sm *ShardedMetrics) *core.Metrics {
