@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache experiments serve-demo
+.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs experiments serve-demo
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ bench-cursor:
 # (EXPERIMENTS.md, "Distance cache").
 bench-cache:
 	$(GO) run ./cmd/crbench -scale small -exp cache
+
+# Bounded all-pairs join vs the naive oracle: evaluated fraction, pruning
+# counts, and bitwise equivalence of all tiers (EXPERIMENTS.md, "Top-k
+# similar pairs").
+bench-pairs:
+	$(GO) run ./cmd/crbench -scale small -exp pairs
+	$(GO) test -run=NONE -bench=BenchmarkTopKPairs -benchtime=10x ./internal/core/
 
 # Regenerate the EXPERIMENTS.md tables at laptop scale.
 experiments:

@@ -7,10 +7,16 @@
 //	crsearch -data data -corpus PATIENT -type sds -doc 17 -k 5
 //	crsearch -data data -corpus RADIO -type rds -ids 120,4711 -eps 0.9
 //	crsearch -data data -corpus RADIO -type rds -ids 120 -k 50 -page 10
+//	crsearch -data data -corpus PATIENT -pairs -k 10 -shards 4
 //
 // -page N streams the top -k through a resumable cursor, N results at a
 // time: each page resumes the saved traversal rather than re-running the
 // query, and the concatenated pages equal the one-shot ranking exactly.
+//
+// -pairs ignores the query flags and instead reports the k most similar
+// document pairs in the whole collection (the bounded all-pairs SDS
+// join); with -shards N the join is block-partitioned and the result is
+// identical.
 package main
 
 import (
@@ -44,6 +50,7 @@ func main() {
 		placement = flag.String("placement", "round-robin", "shard placement policy: round-robin or size-balanced")
 		listen    = flag.String("listen", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; keeps running after the query")
 		cacheMB   = flag.Int("cache-mb", 0, "semantic-distance cache budget in MiB (0 = caching off)")
+		pairs     = flag.Bool("pairs", false, "top-k most similar document pairs over the whole collection (ignores -type/-query/-ids/-doc)")
 	)
 	flag.Parse()
 
@@ -75,6 +82,15 @@ func main() {
 	eng := conceptrank.NewEngine(o, coll)
 	eng.EnableTelemetry(tel)
 	eng.EnableCache(cc)
+
+	if *pairs {
+		runPairs(o, coll, eng, cc, *k, *eps, *workers, *shards, *placement)
+		if *listen != "" {
+			fmt.Println("query done; introspection server still running (ctrl-c to exit)")
+			select {}
+		}
+		return
+	}
 
 	var concepts []conceptrank.ConceptID
 	switch strings.ToLower(*queryType) {
@@ -191,6 +207,49 @@ func main() {
 	if *listen != "" {
 		fmt.Println("query done; introspection server still running (ctrl-c to exit)")
 		select {}
+	}
+}
+
+// runPairs answers "which k documents in the collection are most similar
+// to each other?" with the bounded all-pairs join: single-engine when
+// shards == 1, block-partitioned otherwise. Either path returns the same
+// pairs, the same distances, the same order.
+func runPairs(o *conceptrank.Ontology, coll *conceptrank.Collection, eng *conceptrank.Engine, cc *conceptrank.Cache, k int, eps float64, workers, shards int, placement string) {
+	opts := conceptrank.PairOptions{K: k, ErrorThreshold: eps, Workers: workers, Cache: cc}
+	ctx := context.Background()
+	var (
+		res []conceptrank.PairResult
+		m   *conceptrank.PairMetrics
+		err error
+	)
+	if shards > 1 {
+		pl, perr := conceptrank.ParseShardPlacement(placement)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		seng, serr := conceptrank.NewShardedEngine(o, coll, conceptrank.ShardConfig{Shards: shards, Placement: pl})
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		fmt.Printf("pair join (%d docs, %d shards, %s placement):\n", coll.NumDocs(), shards, pl)
+		res, m, err = seng.TopKPairs(ctx, opts)
+	} else {
+		fmt.Printf("pair join (%d docs):\n", coll.NumDocs())
+		res, m, err = eng.TopKPairs(ctx, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range res {
+		fmt.Printf("%2d. %-24s ~ %-24s distance %.4f\n",
+			i+1, coll.Doc(p.A).Name, coll.Doc(p.B).Name, p.Distance)
+	}
+	fmt.Printf("\npair join: %v total (%v seeds, %v join); examined %d of %d pairs (%.2f%%), pruned %d; %d levels, %d of %d block tasks cancelled\n",
+		m.TotalTime.Round(1000), m.SeedTime.Round(1000), m.JoinTime.Round(1000),
+		m.PairsExamined, m.TotalPairs, 100*m.EvaluatedFraction(), m.PairsPruned,
+		m.Levels, m.CancelledBlocks, m.Blocks)
+	if m.CacheHits+m.CacheMisses > 0 {
+		fmt.Printf("cache: %d hits, %d misses\n", m.CacheHits, m.CacheMisses)
 	}
 }
 

@@ -72,6 +72,16 @@ type (
 	CorpusStats = corpus.Stats
 	// Result is one ranked document.
 	Result = core.Result
+	// PairResult is one ranked document pair (canonical: A < B) returned
+	// by the all-pairs join TopKPairs.
+	PairResult = core.PairResult
+	// PairOptions configures a TopKPairs join (k, error threshold,
+	// Workers for the sharded block fan-out, cache, trace).
+	PairOptions = core.PairOptions
+	// PairMetrics describes one TopKPairs join: seed/join times, the pair
+	// universe, discovered/examined/pruned counts, levels, block tasks
+	// and cancellations.
+	PairMetrics = core.PairMetrics
 	// Metrics reports where a query spent its time.
 	Metrics = core.Metrics
 	// Options configures a kNDS query (k, error threshold, queue limit,
@@ -173,6 +183,9 @@ const (
 	TraceShardMerge    = core.TraceShardMerge
 	TraceCacheHit      = core.TraceCacheHit
 	TraceCacheMiss     = core.TraceCacheMiss
+	TracePairLevel     = core.TracePairLevel
+	TracePairExam      = core.TracePairExam
+	TracePairBlock     = core.TracePairBlock
 )
 
 // ThresholdPolicy returns the paper's default examination policy: examine
@@ -535,6 +548,29 @@ func (e *Engine) OpenRDS(query []ConceptID, opts Options) (*Cursor, error) {
 // OpenRDS.
 func (e *Engine) OpenSDS(queryDoc []ConceptID, opts Options) (*Cursor, error) {
 	return e.inner.OpenSDS(queryDoc, e.withCache(opts))
+}
+
+// TopKPairs returns the k document pairs with the smallest symmetric
+// distance Ddd, in ascending canonical (distance, A, B) order, without
+// evaluating all O(n^2) candidates: per-concept exact Ddc vectors (the
+// same cache-aware seeds RDS queries use) drive a level-synchronous
+// bounded join that prunes candidate pairs against the running k-th best
+// pair. Results are bitwise identical to the naive oracle at every
+// option setting; an engine-level cache installed with EnableCache is
+// used unless PairOptions.Cache overrides it. See DESIGN.md, "All-pairs
+// semantic join".
+func (e *Engine) TopKPairs(ctx context.Context, opts PairOptions) ([]PairResult, *PairMetrics, error) {
+	if opts.Cache == nil {
+		opts.Cache = e.cache
+	}
+	return e.inner.TopKPairs(ctx, opts)
+}
+
+// TopKPairsNaive is the O(n^2) reference join (every eligible pair's
+// exact Ddd via DRC) — the oracle TopKPairs is pinned against, exposed
+// for benchmarking and verification.
+func (e *Engine) TopKPairsNaive(ctx context.Context, opts PairOptions) ([]PairResult, *PairMetrics, error) {
+	return e.inner.TopKPairsNaive(ctx, opts)
 }
 
 // NewBatchRDS prepares a resumable batch of RDS queries over per-query

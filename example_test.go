@@ -1,6 +1,7 @@
 package conceptrank_test
 
 import (
+	"context"
 	"fmt"
 
 	"conceptrank"
@@ -81,6 +82,56 @@ func ExampleEngine_SDS() {
 	// Output:
 	// rec-1 0.0
 	// rec-2 2.5
+}
+
+// The k most similar document pairs across the whole collection: a
+// bounded all-pairs join that prunes candidates against the running
+// k-th best pair instead of evaluating every pair.
+func ExampleEngine_TopKPairs() {
+	o, ids := paperOntology()
+	coll := conceptrank.NewCollection()
+	coll.Add("note-1", 0, []conceptrank.ConceptID{ids["I"], ids["T"]})
+	coll.Add("note-2", 0, []conceptrank.ConceptID{ids["F"], ids["E"]})
+	coll.Add("note-3", 0, []conceptrank.ConceptID{ids["G"], ids["J"]})
+	coll.Add("note-4", 0, []conceptrank.ConceptID{ids["G"], ids["K"]})
+	eng := conceptrank.NewEngine(o, coll)
+
+	pairs, m, _ := eng.TopKPairs(context.Background(), conceptrank.PairOptions{K: 2})
+	for _, p := range pairs {
+		fmt.Printf("%s ~ %s %.1f\n", coll.Doc(p.A).Name, coll.Doc(p.B).Name, p.Distance)
+	}
+	fmt.Printf("examined %d of %d pairs\n", m.PairsExamined, m.TotalPairs)
+	// Output:
+	// note-3 ~ note-4 1.0
+	// note-2 ~ note-3 2.0
+	// examined 2 of 6 pairs
+}
+
+// A resumable cursor pages through a ranking and extends it with GrowK —
+// results stay bitwise identical to a fresh query at the larger k.
+func ExampleEngine_OpenRDS() {
+	o, ids := paperOntology()
+	coll := conceptrank.NewCollection()
+	coll.Add("note-1", 0, []conceptrank.ConceptID{ids["I"], ids["T"]})
+	coll.Add("note-2", 0, []conceptrank.ConceptID{ids["F"], ids["E"]})
+	coll.Add("note-3", 0, []conceptrank.ConceptID{ids["G"], ids["J"]})
+	eng := conceptrank.NewEngine(o, coll)
+
+	cur, _ := eng.OpenRDS([]conceptrank.ConceptID{ids["F"], ids["I"]}, conceptrank.Options{K: 1})
+	defer cur.Close()
+
+	page, _ := cur.Next(context.Background(), 1)
+	fmt.Printf("first: %s %.0f\n", coll.Doc(page[0].Doc).Name, page[0].Distance)
+
+	grown, _ := cur.GrowK(context.Background(), 3)
+	for _, r := range grown {
+		fmt.Printf("grown: %s %.0f\n", coll.Doc(r.Doc).Name, r.Distance)
+	}
+	// Output:
+	// first: note-2 2
+	// grown: note-2 2
+	// grown: note-3 2
+	// grown: note-1 4
 }
 
 // Concept extraction from clinical text: abbreviations expand and negated

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"conceptrank/internal/cache"
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/index"
+	"conceptrank/internal/shard"
+)
+
+// pairDocCap bounds the pair-join corpus so the naive O(n²) oracle stays
+// runnable: the experiment is about the evaluated fraction, and a few
+// hundred documents already give tens of thousands of candidate pairs.
+const pairDocCap = 250
+
+// PairJoin measures the bounded all-pairs SDS join against the naive
+// reference join that evaluates every pair, on a (possibly subsampled)
+// prefix of each dataset. Four tiers per dataset:
+//
+//   - naive: the oracle, exact Ddd for all n·(n-1)/2 pairs
+//   - bounded: the level-synchronous join with k-th-best pruning, cold cache
+//   - bounded warm: same engine, second run against a now-warm seed cache
+//   - sharded x4: the block-partitioned join, 4 blocks, concurrent tasks
+//
+// Every non-naive tier is verified bitwise identical to the oracle — same
+// pairs, same distances, same tie-order.
+func PairJoin(env *Env) (*Table, error) {
+	t := &Table{
+		ID:     "pairs",
+		Title:  fmt.Sprintf("Top-k similar pairs: bounded all-pairs join vs naive (k=%d)", DefaultK),
+		Header: []string{"dataset", "docs", "tier", "total ms", "examined", "of pairs", "frac", "pruned", "identical"},
+	}
+	ctx := context.Background()
+	for _, ds := range env.Datasets() {
+		coll, eng := pairCorpus(env, ds)
+		opts := core.PairOptions{K: DefaultK, ErrorThreshold: ds.DefaultEps}
+
+		want, nm, err := eng.TopKPairsNaive(ctx, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pairs %s naive: %w", ds.Name, err)
+		}
+		addPairRow(t, ds.Name, coll.NumDocs(), "naive", nm, "—")
+
+		cc := cache.New(cache.Config{})
+		copts := opts
+		copts.Cache = cc
+		for _, tier := range []string{"bounded", "bounded warm"} {
+			got, m, err := eng.TopKPairs(ctx, copts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: pairs %s %s: %w", ds.Name, tier, err)
+			}
+			addPairRow(t, ds.Name, coll.NumDocs(), tier, m, samePairs(want, got))
+		}
+
+		se, err := shard.New(env.O, coll, shard.Config{Shards: 4, Placement: shard.RoundRobin})
+		if err != nil {
+			return nil, err
+		}
+		got, sm, err := se.TopKPairs(ctx, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pairs %s sharded: %w", ds.Name, err)
+		}
+		addPairRow(t, ds.Name, coll.NumDocs(), "sharded x4", sm, samePairs(want, got))
+	}
+	t.Note("bounded and sharded tiers verified bitwise identical to the naive oracle; corpora capped at %d docs so the oracle stays runnable", pairDocCap)
+	return t, nil
+}
+
+// pairCorpus returns the dataset's collection and engine, subsampled to
+// the first pairDocCap documents when the collection is larger.
+func pairCorpus(env *Env, ds *Dataset) (*corpus.Collection, *core.Engine) {
+	if ds.Coll.NumDocs() <= pairDocCap {
+		return ds.Coll, ds.Engine
+	}
+	sub := corpus.New()
+	for i := 0; i < pairDocCap; i++ {
+		d := ds.Coll.Doc(corpus.DocID(i))
+		sub.Add(d.Name, d.TokenCount, d.Concepts)
+	}
+	eng := core.NewEngine(env.O, index.BuildMemInverted(sub), index.BuildMemForward(sub), sub.NumDocs(), nil)
+	return sub, eng
+}
+
+func addPairRow(t *Table, name string, docs int, tier string, m *core.PairMetrics, identical string) {
+	t.Add(name, fmt.Sprintf("%d", docs), tier,
+		ms(m.TotalTime.Round(time.Microsecond)),
+		fmt.Sprintf("%d", m.PairsExamined),
+		fmt.Sprintf("%d", m.TotalPairs),
+		fmt.Sprintf("%.1f%%", 100*m.EvaluatedFraction()),
+		fmt.Sprintf("%d", m.PairsPruned),
+		identical)
+}
+
+// samePairs reports whether two pair rankings are bitwise identical.
+func samePairs(want, got []core.PairResult) string {
+	if len(want) != len(got) {
+		return "NO"
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return "NO"
+		}
+	}
+	return "yes"
+}

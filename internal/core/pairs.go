@@ -1,0 +1,783 @@
+package core
+
+// Top-k similar document pairs: a bounded all-pairs semantic join under
+// the symmetric distance Ddd (Eq. 3), following the top-k similar pairs
+// problem of Bhattacharya & Bhowmick (arXiv:1001.2625) recast onto this
+// repo's kNDS machinery.
+//
+// The join reuses the cache-aware seed builder (seed.go): for every
+// corpus concept c, the seed vector holds the exact Ddc(d, c) (Eq. 1) for
+// every document d. Bucketing each vector by distance turns the join into
+// a level-synchronous reveal — at level L, every (concept c, document y
+// with Ddc(y,c) = L) bucket entry covers, for each document x containing
+// c, the pair {x,y}'s x-side term for concept c at its exact final value.
+// After level L every uncovered term is >= L+1, which yields the same
+// monotone per-level lower bound the SDS bound table uses (Eq. 8):
+//
+//	lb({a,b}) = [sumA + uncoveredA*(L+1)] / |C_a|
+//	          + [sumB + uncoveredB*(L+1)] / |C_b|
+//
+// and a floor of 2*(L+1) for pairs not yet discovered at all. Candidates
+// are pruned against the global k-th best pair under the canonical
+// (distance, DocID, DocID) total order, examined when their Eq. 9 error
+// estimate drops to the threshold (fully covered pairs are exact for
+// free), and the join terminates when the heap is full and its k-th
+// distance is strictly below everything still outstanding. Because the
+// heap order is total, the retained top-k is a pure function of the
+// offered set — the same argument that makes sharded kNDS exact makes the
+// block-partitioned pair join (internal/shard) bitwise identical to this
+// single-engine join, and both identical to the naive O(n^2) oracle.
+//
+// Documents with empty concept sets have no Ddd terms and are excluded
+// from the pair universe by every tier. Pairs whose concept sets share no
+// valid path never accumulate a finite term and are never discovered;
+// with a rooted ontology every concept pair is connected, so this arises
+// only on degenerate inputs.
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"conceptrank/internal/cache"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/drc"
+	"conceptrank/internal/ontology"
+)
+
+// PairResult is one ranked document pair, canonical: A < B.
+type PairResult struct {
+	A, B     corpus.DocID
+	Distance float64
+}
+
+// PairOptions configures a TopKPairs join. The zero value selects
+// defaults via Normalize.
+type PairOptions struct {
+	// K is the number of pairs to return (default 10).
+	K int
+	// ErrorThreshold is ε_θ of Eq. 9 applied to pair bounds: 0 examines a
+	// pair only once every term is covered (the exact distance is then
+	// free); larger values trade early exact computations for fewer
+	// levels. Results are identical at every setting.
+	ErrorThreshold float64
+	// Workers bounds the sharded join's concurrent block tasks (0 =
+	// GOMAXPROCS). The single-engine join runs on the caller's goroutine.
+	Workers int
+	// Cache, when non-nil, serves the per-concept Ddc seed vectors from
+	// the shared semantic-distance cache — the same entries RDS queries
+	// seed and refresh — and stores misses for later queries.
+	Cache *cache.Cache
+	// Trace, when non-nil, receives PairLevel / PairExam / PairBlock span
+	// events. Observation-only, like Options.Trace.
+	Trace TraceFunc
+}
+
+// Normalize fills in defaults.
+func (o PairOptions) Normalize() PairOptions {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// PairMetrics describes one TopKPairs join. The sharded engine merges
+// per-block metrics with the same conventions as Metrics: counters and
+// component times sum, Levels merges by max, TotalTime and ResultCount
+// are owned by the top-level caller.
+type PairMetrics struct {
+	SeedTime  time.Duration // concept-vector construction (cache-aware)
+	JoinTime  time.Duration // level loop: reveals, bounds, examinations
+	TotalTime time.Duration
+
+	TotalPairs      int64 // the candidate universe: eligible-doc pairs
+	PairsDiscovered int64 // pairs that accumulated at least one term
+	PairsExamined   int64 // pairs whose exact Ddd was computed
+	PairsPruned     int64 // pairs discarded by the k-th-best bound
+	Levels          int   // reveal levels processed (deepest block task)
+	Blocks          int   // join tasks executed (1 for a single engine)
+	CancelledBlocks int   // tasks stopped early by the global threshold
+
+	// CacheHits / CacheMisses count seed-vector lookups against
+	// PairOptions.Cache, one per vocabulary concept per block. Zero when
+	// no cache is attached.
+	CacheHits   int
+	CacheMisses int
+
+	ResultCount int
+}
+
+// EvaluatedFraction returns PairsExamined / TotalPairs — the fraction of
+// the O(n^2) candidate universe whose exact distance was computed. The
+// naive oracle reports 1; the bounded join's headline number.
+func (m *PairMetrics) EvaluatedFraction() float64 {
+	if m.TotalPairs == 0 {
+		return 0
+	}
+	return float64(m.PairsExamined) / float64(m.TotalPairs)
+}
+
+// pairWorse is the canonical total order on pairs: by distance, then
+// DocID A, then DocID B — the pair analogue of worse(). Totality makes
+// the retained top-k a pure function of the offered set, independent of
+// offer order and block interleaving.
+func pairWorse(a, b PairResult) bool {
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	if a.A != b.A {
+		return a.A > b.A
+	}
+	return a.B > b.B
+}
+
+// pairKey packs a canonical pair into one comparable word; key order on
+// equal distances matches pairWorse.
+func pairKey(a, b corpus.DocID) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// topKPairs is the bounded max-heap keeping the k canonically smallest
+// pairs; structure mirrors topK.
+type topKPairs struct {
+	k     int
+	items []PairResult
+}
+
+func (h *topKPairs) full() bool { return len(h.items) >= h.k }
+
+func (h *topKPairs) kth() float64 {
+	if !h.full() {
+		return math.Inf(1)
+	}
+	return h.items[0].Distance
+}
+
+func (h *topKPairs) offer(r PairResult) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		for i := len(h.items) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !pairWorse(h.items[i], h.items[p]) {
+				break
+			}
+			h.items[i], h.items[p] = h.items[p], h.items[i]
+			i = p
+		}
+		return
+	}
+	if h.k == 0 || !pairWorse(h.items[0], r) {
+		return
+	}
+	h.items[0] = r
+	for i := 0; ; {
+		l, rr, largest := 2*i+1, 2*i+2, i
+		if l < len(h.items) && pairWorse(h.items[l], h.items[largest]) {
+			largest = l
+		}
+		if rr < len(h.items) && pairWorse(h.items[rr], h.items[largest]) {
+			largest = rr
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (h *topKPairs) sorted() []PairResult {
+	out := append([]PairResult(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return pairWorse(out[j], out[i]) })
+	return out
+}
+
+// PairMerger is the mutex-guarded global top-k pair heap shared by every
+// join task. Offer canonicalizes (a,b) to (min,max) and rejects
+// self-pairs, so any orientation may be offered. Because the heap's
+// eviction order is total, the final content — and therefore the merged
+// k-th threshold every block prunes against — is independent of the
+// interleaving of concurrent offers.
+type PairMerger struct {
+	mu sync.Mutex
+	h  topKPairs
+}
+
+// NewPairMerger returns a merger retaining the k canonically smallest
+// pairs.
+func NewPairMerger(k int) *PairMerger { return &PairMerger{h: topKPairs{k: k}} }
+
+// Offer submits one exact pair distance. Self-pairs are ignored;
+// (a,b) and (b,a) are the same pair.
+func (m *PairMerger) Offer(p PairResult) {
+	if p.A == p.B {
+		return
+	}
+	if p.B < p.A {
+		p.A, p.B = p.B, p.A
+	}
+	m.mu.Lock()
+	m.h.offer(p)
+	m.mu.Unlock()
+}
+
+// Snapshot returns the heap state a join task prunes against: whether
+// the heap is full, the k-th distance (+Inf while not full), and the
+// canonically largest retained pair (meaningful only when full). The
+// k-th distance is monotonically non-increasing over a join's lifetime,
+// which is what makes pruning against a snapshot sound under any block
+// interleaving.
+func (m *PairMerger) Snapshot() (full bool, kth float64, worst PairResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.h.full() {
+		return false, math.Inf(1), PairResult{}
+	}
+	return true, m.h.kth(), m.h.items[0]
+}
+
+// Sorted returns the retained pairs in canonical ascending order.
+func (m *PairMerger) Sorted() []PairResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.h.sorted()
+}
+
+// Len returns the number of retained pairs.
+func (m *PairMerger) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.h.items)
+}
+
+// levelReveal is one (concept, documents) bucket of a block's reveal
+// schedule: every listed document is at exactly the bucket's level from
+// the concept.
+type levelReveal struct {
+	c    ontology.ConceptID
+	docs []corpus.DocID // local IDs, ascending
+}
+
+// PairBlock is one block of documents prepared for the pair join: the
+// snapshot's concept sets and postings, and — for every vocabulary
+// concept — the exact Ddc vector over the block's documents, bucketed by
+// distance level. A block built with the union vocabulary of several
+// blocks can join against any of them. Blocks are immutable once built
+// and safe to share across concurrent join tasks.
+type PairBlock struct {
+	concepts [][]ontology.ConceptID                 // local doc -> sorted concept set (nil: excluded)
+	postings map[ontology.ConceptID][]corpus.DocID  // local docs containing c, ascending
+	vecs     map[ontology.ConceptID][]cache.DocDist // exact Ddc per vocabulary concept, ascending Doc
+	byLevel  [][]levelReveal                        // reveal schedule, indexed by level
+	global   []corpus.DocID                         // local -> global DocID, strictly increasing
+	eligible int                                    // documents with a non-empty concept set
+	n        int                                    // snapshot document count
+}
+
+// Eligible returns the number of documents participating in the join.
+func (b *PairBlock) Eligible() int { return b.eligible }
+
+// maxLevel is the deepest reveal level; -1 for an empty schedule.
+func (b *PairBlock) maxLevel() int { return len(b.byLevel) - 1 }
+
+// ddc returns the exact Ddc(d, c) for local document d, or infDist when
+// no valid path exists (matching drc's unreachable sentinel).
+func (b *PairBlock) ddc(c ontology.ConceptID, d corpus.DocID) int32 {
+	v := b.vecs[c]
+	i := sort.Search(len(v), func(i int) bool { return v[i].Doc >= d })
+	if i < len(v) && v[i].Doc == d {
+		return v[i].Dist
+	}
+	return infDist
+}
+
+// PairVocab scans the current snapshot and returns the sorted distinct
+// concept vocabulary of its non-empty documents plus the snapshot's
+// document count. The sharded join collects every shard's vocabulary
+// first and builds each block over the union, so cross-block term
+// lookups always have a vector to consult.
+func (e *Engine) PairVocab() ([]ontology.ConceptID, int, error) {
+	n := e.numDocs()
+	seen := make(map[ontology.ConceptID]struct{})
+	for d := 0; d < n; d++ {
+		cs, err := e.fwd.Concepts(corpus.DocID(d))
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, c := range cs {
+			seen[c] = struct{}{}
+		}
+	}
+	vocab := make([]ontology.ConceptID, 0, len(seen))
+	for c := range seen {
+		vocab = append(vocab, c)
+	}
+	sort.Slice(vocab, func(i, j int) bool { return vocab[i] < vocab[j] })
+	return vocab, n, nil
+}
+
+// pairSeed resolves one concept's Ddc vector over documents [0, n):
+// served from the cache (refreshing stale generations incrementally,
+// exactly as loadSeeds does for RDS queries), or built and stored on a
+// miss. Without a cache it always builds.
+func (e *Engine) pairSeed(cc *cache.Cache, c ontology.ConceptID, n int, m *PairMetrics) ([]cache.DocDist, error) {
+	if cc == nil {
+		return e.buildSeedVector(c, n)
+	}
+	s, ok := cc.GetSeed(e.cacheID, uint32(c))
+	if ok && s.Gen < n {
+		docs, err := e.refreshSeed(cc, c, s, n)
+		if err != nil {
+			return nil, err
+		}
+		s = cache.Seed{Gen: n, Docs: docs}
+		cc.PutSeed(e.cacheID, uint32(c), s)
+	}
+	if ok {
+		m.CacheHits++
+		return s.Docs, nil
+	}
+	docs, err := e.buildSeedVector(c, n)
+	if err != nil {
+		return nil, err
+	}
+	cc.PutSeed(e.cacheID, uint32(c), cache.Seed{Gen: n, Docs: docs})
+	m.CacheMisses++
+	return docs, nil
+}
+
+// BuildPairBlock prepares this engine's documents [0, n) for the pair
+// join. vocab is the concept set to build Ddc vectors for (nil: the
+// block's own vocabulary); global maps local to global DocIDs (nil:
+// identity — the single-engine case). Vector entries at or past n (from
+// cache vectors refreshed beyond this snapshot) are ignored, so the
+// block is exactly the n-document snapshot regardless of cache state.
+func (e *Engine) BuildPairBlock(n int, vocab []ontology.ConceptID, global func(corpus.DocID) corpus.DocID, cc *cache.Cache, m *PairMetrics) (*PairBlock, error) {
+	b := &PairBlock{
+		concepts: make([][]ontology.ConceptID, n),
+		postings: make(map[ontology.ConceptID][]corpus.DocID),
+		vecs:     make(map[ontology.ConceptID][]cache.DocDist),
+		global:   make([]corpus.DocID, n),
+		n:        n,
+	}
+	for d := 0; d < n; d++ {
+		ld := corpus.DocID(d)
+		b.global[d] = ld
+		if global != nil {
+			b.global[d] = global(ld)
+		}
+		cs, err := e.fwd.Concepts(ld)
+		if err != nil {
+			return nil, err
+		}
+		if len(cs) == 0 {
+			continue
+		}
+		b.concepts[d] = cs
+		b.eligible++
+		for _, c := range cs {
+			b.postings[c] = append(b.postings[c], ld)
+		}
+	}
+	if vocab == nil {
+		vocab = make([]ontology.ConceptID, 0, len(b.postings))
+		for c := range b.postings {
+			vocab = append(vocab, c)
+		}
+		sort.Slice(vocab, func(i, j int) bool { return vocab[i] < vocab[j] })
+	}
+	for _, c := range vocab {
+		vec, err := e.pairSeed(cc, c, n, m)
+		if err != nil {
+			return nil, err
+		}
+		b.vecs[c] = vec
+		// Bucket the vector into the reveal schedule. Levels appear in
+		// vector (ascending-Doc) order; docs within a bucket stay ascending.
+		var perLevel [][]corpus.DocID
+		for _, dd := range vec {
+			if int(dd.Doc) >= n {
+				break // ascending by Doc; the rest is past the snapshot
+			}
+			l := int(dd.Dist)
+			for len(perLevel) <= l {
+				perLevel = append(perLevel, nil)
+			}
+			perLevel[l] = append(perLevel[l], dd.Doc)
+		}
+		for l, docs := range perLevel {
+			if docs == nil {
+				continue
+			}
+			for len(b.byLevel) <= l {
+				b.byLevel = append(b.byLevel, nil)
+			}
+			b.byLevel[l] = append(b.byLevel[l], levelReveal{c: c, docs: docs})
+		}
+	}
+	return b, nil
+}
+
+// pairState is the join's per-discovered-pair bookkeeping. The canonical
+// first document (smaller global ID) is the a side.
+type pairState struct {
+	ga, gb     corpus.DocID // global IDs, ga < gb
+	aLoc, bLoc corpus.DocID // local IDs within their blocks
+	aIn, bIn   *PairBlock   // block holding each side
+	covA, covB int32        // covered terms per side
+	sumA, sumB int64        // sum of covered term distances per side
+	examined   bool
+	pruned     bool
+}
+
+// exact recomputes the pair's exact Ddd from the blocks' vectors:
+// integer term sums (<= 2^53, so the float64 conversions are exact)
+// divided once per side — bit-for-bit the arithmetic drc's
+// DocDocDistance performs, which is what pins the bounded join to the
+// naive oracle. Uncovered terms resolve by binary search; absent entries
+// are the unreachable sentinel, matching drc.Inf.
+func (st *pairState) exact() float64 {
+	ca := st.aIn.concepts[st.aLoc]
+	cb := st.bIn.concepts[st.bLoc]
+	if st.covA == int32(len(ca)) && st.covB == int32(len(cb)) {
+		return float64(st.sumA)/float64(len(ca)) + float64(st.sumB)/float64(len(cb))
+	}
+	var sa, sb int64
+	for _, c := range ca {
+		sa += int64(st.bIn.ddc(c, st.bLoc)) // Ddc(b, c) for c in C_a
+	}
+	for _, c := range cb {
+		sb += int64(st.aIn.ddc(c, st.aLoc))
+	}
+	return float64(sa)/float64(len(ca)) + float64(sb)/float64(len(cb))
+}
+
+// bounds returns the pair's Eq. 8-style lower bound and partial distance
+// given that every uncovered term is >= bound.
+func (st *pairState) bounds(bound float64) (lb, partial float64) {
+	la := float64(len(st.aIn.concepts[st.aLoc]))
+	lbn := float64(len(st.bIn.concepts[st.bLoc]))
+	termA := float64(st.sumA)
+	termB := float64(st.sumB)
+	partial = termA/la + termB/lbn
+	// Guard the uncovered==0 cases: 0 * +Inf is NaN.
+	if unc := la - float64(st.covA); unc > 0 {
+		termA += unc * bound
+	}
+	if unc := lbn - float64(st.covB); unc > 0 {
+		termB += unc * bound
+	}
+	lb = termA/la + termB/lbn
+	return lb, partial
+}
+
+// pairCand is one level's examination candidate.
+type pairCand struct {
+	st          *pairState
+	lb, partial float64
+}
+
+// pairJoin runs the bounded level-synchronous join between blocks ba and
+// bb (the same block: the intra-block join over its own pairs; distinct
+// blocks: the bipartite join across them), offering exact distances to
+// the shared merger and pruning against its global k-th threshold.
+// Returns whether the global threshold stopped the task before its
+// reveal schedule was exhausted. Metrics accumulate into m, which the
+// sharded caller keeps task-local and merges afterwards.
+func pairJoin(ctx context.Context, ba, bb *PairBlock, opts PairOptions, mg *PairMerger, m *PairMetrics, tr *tracer) (bool, error) {
+	same := ba == bb
+	var totalPairs int64
+	if same {
+		totalPairs = int64(ba.eligible) * int64(ba.eligible-1) / 2
+	} else {
+		totalPairs = int64(ba.eligible) * int64(bb.eligible)
+	}
+	m.Blocks++
+	m.TotalPairs += totalPairs
+	if totalPairs == 0 {
+		return false, nil
+	}
+
+	states := make(map[uint64]*pairState)
+	var live []*pairState
+	discovered := int64(0)
+
+	// cover accumulates one revealed term: concept c of the document
+	// (xb, x) against partner (yb, y), at distance l.
+	cover := func(xb *PairBlock, x corpus.DocID, yb *PairBlock, y corpus.DocID, l int32) {
+		gx, gy := xb.global[x], yb.global[y]
+		var key uint64
+		if gx < gy {
+			key = pairKey(gx, gy)
+		} else {
+			key = pairKey(gy, gx)
+		}
+		st := states[key]
+		if st == nil {
+			st = &pairState{}
+			if gx < gy {
+				st.ga, st.aLoc, st.aIn = gx, x, xb
+				st.gb, st.bLoc, st.bIn = gy, y, yb
+			} else {
+				st.ga, st.aLoc, st.aIn = gy, y, yb
+				st.gb, st.bLoc, st.bIn = gx, x, xb
+			}
+			states[key] = st
+			live = append(live, st)
+			discovered++
+		}
+		if st.examined || st.pruned {
+			return
+		}
+		if gx < gy {
+			st.covA++
+			st.sumA += int64(l)
+		} else {
+			st.covB++
+			st.sumB += int64(l)
+		}
+	}
+
+	// reveal plays one block's level-L buckets against the other block's
+	// postings: each bucket document y is at exactly distance l from c,
+	// covering the c term of every c-containing document x.
+	reveal := func(levels, post *PairBlock, l int) {
+		if l >= len(levels.byLevel) {
+			return
+		}
+		for _, rv := range levels.byLevel[l] {
+			xs := post.postings[rv.c]
+			if len(xs) == 0 {
+				continue
+			}
+			for _, y := range rv.docs {
+				for _, x := range xs {
+					if same && x == y {
+						continue
+					}
+					cover(post, x, levels, y, int32(l))
+				}
+			}
+		}
+	}
+
+	maxL := ba.maxLevel()
+	if bb.maxLevel() > maxL {
+		maxL = bb.maxLevel()
+	}
+	var cands []pairCand
+	for l := 0; l <= maxL; l++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		reveal(bb, ba, l)
+		if !same {
+			reveal(ba, bb, l)
+		}
+		exhausted := l == maxL
+		bound := float64(l + 1)
+		if exhausted {
+			// Every reachable term is revealed; what remains has no valid
+			// path, the same unreachable sentinel drc uses.
+			bound = math.Inf(1)
+		}
+		if m.Levels < l+1 {
+			m.Levels = l + 1
+		}
+
+		// Collect the undecided pairs, compacting out settled ones.
+		cands = cands[:0]
+		kept := live[:0]
+		for _, st := range live {
+			if st.examined || st.pruned {
+				continue
+			}
+			kept = append(kept, st)
+			lb, partial := st.bounds(bound)
+			cands = append(cands, pairCand{st: st, lb: lb, partial: partial})
+		}
+		live = kept
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].lb != cands[j].lb {
+				return cands[i].lb < cands[j].lb
+			}
+			return pairKey(cands[i].st.ga, cands[i].st.gb) < pairKey(cands[j].st.ga, cands[j].st.gb)
+		})
+
+		// Examine in ascending-bound order, pruning against the global
+		// k-th threshold, which only tightens while we iterate.
+		for _, cand := range cands {
+			full, kth, worst := mg.Snapshot()
+			if full && cand.lb > kth {
+				cand.st.pruned = true
+				m.PairsPruned++
+				continue
+			}
+			if full && cand.lb == kth && pairKey(cand.st.ga, cand.st.gb) > pairKey(worst.A, worst.B) {
+				// An exact distance can only meet the bound; at the k-th
+				// distance the canonical order says it cannot displace.
+				cand.st.pruned = true
+				m.PairsPruned++
+				continue
+			}
+			if !exhausted {
+				eps := 0.0
+				if cand.lb > 0 {
+					eps = 1 - cand.partial/cand.lb
+				}
+				if eps > opts.ErrorThreshold {
+					break // sorted by lb: later candidates are no riper
+				}
+			}
+			d := cand.st.exact()
+			cand.st.examined = true
+			m.PairsExamined++
+			mg.Offer(PairResult{A: cand.st.ga, B: cand.st.gb, Distance: d})
+			tr.emit(TraceEvent{Kind: TracePairExam, Doc: cand.st.ga, N: int(cand.st.gb), Value: d})
+		}
+
+		// Termination floor: the smallest bound any undecided or
+		// undiscovered pair could still attain.
+		dMinus := math.Inf(1)
+		remaining := 0
+		for _, cand := range cands {
+			if cand.st.examined || cand.st.pruned {
+				continue
+			}
+			remaining++
+			if cand.lb < dMinus {
+				dMinus = cand.lb
+			}
+		}
+		if discovered < totalPairs && 2*bound < dMinus {
+			dMinus = 2 * bound
+		}
+		tr.emit(TraceEvent{Kind: TracePairLevel, Depth: l, N: remaining, Value: dMinus})
+		if full, kth, _ := mg.Snapshot(); full && dMinus > kth {
+			if !exhausted {
+				m.CancelledBlocks++
+				return true, nil
+			}
+			break
+		}
+	}
+	return false, nil
+}
+
+// PairBlockJoin runs one bounded join task between two prepared blocks
+// (pass the same block twice for its intra-block pairs), sharing the
+// global merger with concurrently running tasks. The sharded engine fans
+// its intra- and cross-block tasks through this entry point.
+func PairBlockJoin(ctx context.Context, ba, bb *PairBlock, opts PairOptions, mg *PairMerger, m *PairMetrics) (bool, error) {
+	tr := newTracer(opts.Trace)
+	return pairJoin(ctx, ba, bb, opts, mg, m, &tr)
+}
+
+// TopKPairs returns the k document pairs with the smallest symmetric
+// distance Ddd (Eq. 3), in ascending canonical (distance, A, B) order,
+// without evaluating all O(n^2) candidates: per-concept exact Ddc
+// vectors (cache-aware, shared with RDS seeding) drive a level-
+// synchronous reveal whose monotone lower bounds prune candidates
+// against the running k-th best pair. Results are bitwise identical to
+// the naive oracle for every option setting.
+func (e *Engine) TopKPairs(ctx context.Context, opts PairOptions) ([]PairResult, *PairMetrics, error) {
+	opts = opts.Normalize()
+	m := &PairMetrics{}
+	start := time.Now()
+	tr := newTracer(opts.Trace)
+
+	t0 := time.Now()
+	blk, err := e.BuildPairBlock(e.numDocs(), nil, nil, opts.Cache, m)
+	m.SeedTime = time.Since(t0)
+	if err != nil {
+		m.TotalTime = time.Since(start)
+		return nil, m, err
+	}
+
+	mg := NewPairMerger(opts.K)
+	t1 := time.Now()
+	cancelled, err := pairJoin(ctx, blk, blk, opts, mg, m, &tr)
+	m.JoinTime = time.Since(t1)
+	if err != nil {
+		m.TotalTime = time.Since(start)
+		return nil, m, err
+	}
+	res := mg.Sorted()
+	m.ResultCount = len(res)
+	m.TotalTime = time.Since(start)
+	tr.emit(TraceEvent{Kind: TracePairBlock, N: int(m.PairsExamined), Value: b2f(cancelled)})
+	return res, m, nil
+}
+
+// TopKPairsNaive is the O(n^2) reference join: every eligible pair's
+// exact Ddd via DRC, offered to the same canonical merger. It is the
+// oracle the equivalence grid pins TopKPairs against, computed through
+// an independent code path (the D-Radix calculator rather than seed
+// vectors).
+func (e *Engine) TopKPairsNaive(ctx context.Context, opts PairOptions) ([]PairResult, *PairMetrics, error) {
+	opts = opts.Normalize()
+	m := &PairMetrics{Blocks: 1}
+	start := time.Now()
+	n := e.numDocs()
+	concepts := make([][]ontology.ConceptID, n)
+	for d := 0; d < n; d++ {
+		cs, err := e.fwd.Concepts(corpus.DocID(d))
+		if err != nil {
+			m.TotalTime = time.Since(start)
+			return nil, m, err
+		}
+		if len(cs) > 0 {
+			concepts[d] = cs
+		}
+	}
+	// TotalPairs: eligible choose 2.
+	eligible := int64(0)
+	for _, cs := range concepts {
+		if cs != nil {
+			eligible++
+		}
+	}
+	m.TotalPairs = eligible * (eligible - 1) / 2
+	m.PairsDiscovered = m.TotalPairs
+
+	mg := NewPairMerger(opts.K)
+	t0 := time.Now()
+	for a := 0; a < n; a++ {
+		if concepts[a] == nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			m.TotalTime = time.Since(start)
+			return nil, m, err
+		}
+		prep := drc.PrepareCached(e.o, concepts[a], 0, e.addrCache)
+		for b := a + 1; b < n; b++ {
+			if concepts[b] == nil {
+				continue
+			}
+			d, err := prep.DocDoc(concepts[b])
+			if err != nil {
+				m.TotalTime = time.Since(start)
+				return nil, m, err
+			}
+			m.PairsExamined++
+			mg.Offer(PairResult{A: corpus.DocID(a), B: corpus.DocID(b), Distance: d})
+		}
+	}
+	m.JoinTime = time.Since(t0)
+	res := mg.Sorted()
+	m.ResultCount = len(res)
+	m.TotalTime = time.Since(start)
+	return res, m, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,188 @@
+package shard
+
+// Block-partitioned top-k pair join: each shard's documents form one
+// PairBlock, and the all-pairs universe decomposes exactly into the
+// intra-block tasks (i,i) and the cross-block tasks (i,j), i < j — a
+// disjoint partition, so the per-task TotalPairs counters sum to the
+// single-engine universe. Every task offers its exact distances into one
+// shared core.PairMerger and prunes against its global k-th threshold,
+// which is monotonically non-increasing; a bound that prunes against any
+// snapshot of it is therefore valid against the final heap, making the
+// merged result independent of task interleaving and bitwise identical
+// to the single-engine join (and hence to the naive oracle). A task
+// whose termination floor clears the global threshold stops early —
+// cancellation across blocks, the pair analogue of the cross-shard
+// bound.
+//
+// Blocks are built over the union vocabulary of all shards, so a
+// cross-block task can resolve either side's terms from either block's
+// vectors. Each shard builds its vectors through its own cache-aware
+// seed path (accepting one ontology sweep per shard per concept; block
+// builds run concurrently to hide it).
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/pool"
+)
+
+// TopKPairs returns the k lowest-Ddd document pairs across the whole
+// partitioned collection, bitwise identical to core.Engine.TopKPairs
+// over the union collection. Options.Workers bounds the concurrent block
+// tasks (0 = GOMAXPROCS). Options.Trace is forwarded under a lock with
+// TraceEvent.Shard stamped to the task's first block index.
+func (e *Engine) TopKPairs(ctx context.Context, opts core.PairOptions) ([]core.PairResult, *core.PairMetrics, error) {
+	opts = opts.Normalize()
+	m := &core.PairMetrics{}
+	start := time.Now()
+	ns := len(e.shards)
+
+	// Union vocabulary and per-shard snapshot counts, sampled up front so
+	// every block's vectors cover every concept any block can reveal.
+	vocabs := make([][]ontology.ConceptID, ns)
+	counts := make([]int, ns)
+	for i, sh := range e.shards {
+		v, n, err := sh.PairVocab()
+		if err != nil {
+			m.TotalTime = time.Since(start)
+			return nil, m, err
+		}
+		vocabs[i], counts[i] = v, n
+	}
+	vocab := unionConcepts(vocabs)
+
+	// Build one block per shard, concurrently; per-build metrics are
+	// task-local and merged after the barrier.
+	blocks := make([]*core.PairBlock, ns)
+	bms := make([]core.PairMetrics, ns)
+	bg, bctx := pool.GroupWithContext(ctx)
+	bg.SetLimit(opts.Workers)
+	for i := range e.shards {
+		i := i
+		bg.Go(func() error {
+			if err := bctx.Err(); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			blk, err := e.shards[i].BuildPairBlock(counts[i], vocab,
+				func(l corpus.DocID) corpus.DocID { return e.mapper.global(i, l) },
+				opts.Cache, &bms[i])
+			bms[i].SeedTime = time.Since(t0)
+			blocks[i] = blk
+			return err
+		})
+	}
+	if err := bg.Wait(); err != nil {
+		for i := range bms {
+			mergePairMetrics(m, &bms[i])
+		}
+		m.TotalTime = time.Since(start)
+		return nil, m, err
+	}
+
+	// Fan out the task grid (i,j), i <= j, against the shared merger.
+	type task struct{ i, j int }
+	var tasks []task
+	for i := 0; i < ns; i++ {
+		for j := i; j < ns; j++ {
+			tasks = append(tasks, task{i, j})
+		}
+	}
+	mg := core.NewPairMerger(opts.K)
+	tms := make([]core.PairMetrics, len(tasks))
+	var traceMu sync.Mutex
+	jg, jctx := pool.GroupWithContext(ctx)
+	jg.SetLimit(opts.Workers)
+	for ti, tk := range tasks {
+		ti, tk := ti, tk
+		jg.Go(func() error {
+			topts := opts
+			if opts.Trace != nil {
+				topts.Trace = func(ev core.TraceEvent) {
+					ev.Shard = tk.i
+					traceMu.Lock()
+					opts.Trace(ev)
+					traceMu.Unlock()
+				}
+			}
+			t0 := time.Now()
+			cancelled, err := core.PairBlockJoin(jctx, blocks[tk.i], blocks[tk.j], topts, mg, &tms[ti])
+			tms[ti].JoinTime = time.Since(t0)
+			if err != nil {
+				return err
+			}
+			if topts.Trace != nil {
+				topts.Trace(core.TraceEvent{Kind: core.TracePairBlock,
+					Wave: tk.i, Depth: tk.j, N: int(tms[ti].PairsExamined), Value: b2f(cancelled)})
+			}
+			return nil
+		})
+	}
+	err := jg.Wait()
+	for i := range bms {
+		mergePairMetrics(m, &bms[i])
+	}
+	for i := range tms {
+		mergePairMetrics(m, &tms[i])
+	}
+	if err != nil {
+		m.TotalTime = time.Since(start)
+		return nil, m, err
+	}
+	res := mg.Sorted()
+	m.ResultCount = len(res)
+	m.TotalTime = time.Since(start)
+	return res, m, nil
+}
+
+// unionConcepts merges per-shard sorted vocabularies into one sorted
+// distinct union.
+func unionConcepts(vocabs [][]ontology.ConceptID) []ontology.ConceptID {
+	seen := make(map[ontology.ConceptID]struct{})
+	var out []ontology.ConceptID
+	for _, v := range vocabs {
+		for _, c := range v {
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergePairMetrics accumulates src into dst with the Metrics
+// conventions: counters and component times sum (task pair universes are
+// disjoint, so TotalPairs sums to the single-engine universe), Levels
+// merges by max (the deepest task), TotalTime and ResultCount are owned
+// by the top-level caller. TestMergePairMetricsCoversAllFields fails
+// when a core.PairMetrics field is added without a rule here.
+func mergePairMetrics(dst, src *core.PairMetrics) {
+	dst.SeedTime += src.SeedTime
+	dst.JoinTime += src.JoinTime
+	dst.TotalPairs += src.TotalPairs
+	dst.PairsDiscovered += src.PairsDiscovered
+	dst.PairsExamined += src.PairsExamined
+	dst.PairsPruned += src.PairsPruned
+	if src.Levels > dst.Levels {
+		dst.Levels = src.Levels
+	}
+	dst.Blocks += src.Blocks
+	dst.CancelledBlocks += src.CancelledBlocks
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

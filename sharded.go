@@ -181,6 +181,22 @@ func (e *ShardedEngine) OpenSDS(queryDoc []ConceptID, opts Options) (*ShardedCur
 	return e.inner.OpenSDS(queryDoc, e.withCache(opts))
 }
 
+// TopKPairs returns the k lowest-Ddd document pairs across the whole
+// partitioned collection: each shard's documents form one block of a
+// bounded all-pairs join, the intra- and cross-block tasks fan out
+// concurrently (PairOptions.Workers wide), and every task prunes against
+// the shared global k-th-best threshold, which also cancels tasks with
+// provably nothing left to contribute. Results are bitwise identical to
+// a single Engine's TopKPairs over the union collection. An engine-level
+// cache installed with EnableCache is shared by all shards unless
+// PairOptions.Cache overrides it.
+func (e *ShardedEngine) TopKPairs(ctx context.Context, opts PairOptions) ([]PairResult, *PairMetrics, error) {
+	if opts.Cache == nil {
+		opts.Cache = e.cache
+	}
+	return e.inner.TopKPairs(ctx, opts)
+}
+
 func shardedMerged(sm *ShardedMetrics) *core.Metrics {
 	if sm == nil {
 		return nil
