@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs experiments serve-demo
+.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs bench-measures experiments serve-demo api-check api-snapshot
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,25 @@ bench-cache:
 bench-pairs:
 	$(GO) run ./cmd/crbench -scale small -exp pairs
 	$(GO) test -run=NONE -bench=BenchmarkTopKPairs -benchtime=10x ./internal/core/
+
+# Pluggable-measure sweep: overlap@k against the Rada default and per-query
+# cost for each built-in DistanceMeasure, with the generic-pipeline Rada
+# tier as the pluggability-overhead control (EXPERIMENTS.md, "Pluggable
+# distance measures").
+bench-measures:
+	$(GO) run ./cmd/crbench -scale small -exp measures
+
+# Public API surface gate. api/conceptrank.txt is the checked-in `go doc`
+# snapshot of the root package; api-check fails when the exported surface
+# (or its package doc) drifts without the snapshot being regenerated, so
+# API changes are always explicit in review. After an intentional change,
+# run api-snapshot and commit the diff.
+api-check:
+	@$(GO) doc ./ | diff -u api/conceptrank.txt - \
+		|| { echo "public API surface drifted from api/conceptrank.txt; run 'make api-snapshot' and commit the result"; exit 1; }
+
+api-snapshot:
+	$(GO) doc ./ > api/conceptrank.txt
 
 # Regenerate the EXPERIMENTS.md tables at laptop scale.
 experiments:

@@ -8,6 +8,7 @@
 //	crsearch -data data -corpus RADIO -type rds -ids 120,4711 -eps 0.9
 //	crsearch -data data -corpus RADIO -type rds -ids 120 -k 50 -page 10
 //	crsearch -data data -corpus PATIENT -pairs -k 10 -shards 4
+//	crsearch -data data -corpus RADIO -type rds -ids 120 -measure density
 //
 // -page N streams the top -k through a resumable cursor, N results at a
 // time: each page resumes the saved traversal rather than re-running the
@@ -51,6 +52,7 @@ func main() {
 		listen    = flag.String("listen", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; keeps running after the query")
 		cacheMB   = flag.Int("cache-mb", 0, "semantic-distance cache budget in MiB (0 = caching off)")
 		pairs     = flag.Bool("pairs", false, "top-k most similar document pairs over the whole collection (ignores -type/-query/-ids/-doc)")
+		measName  = flag.String("measure", "rada", "semantic distance measure: rada, density or enhanced")
 	)
 	flag.Parse()
 
@@ -132,6 +134,15 @@ func main() {
 	fmt.Println()
 
 	opts := conceptrank.Options{K: *k, ErrorThreshold: *eps, Workers: *workers}
+	switch strings.ToLower(*measName) {
+	case "", "rada": // the default: nil Measure keeps the DRC fast path
+	case "density":
+		opts.Measure = conceptrank.NewDensityMeasure(o)
+	case "enhanced":
+		opts.Measure = conceptrank.NewEnhancedMeasure(o)
+	default:
+		log.Fatalf("unknown measure %q (want rada, density or enhanced)", *measName)
+	}
 	sds := strings.ToLower(*queryType) == "sds"
 	var results []conceptrank.Result
 	var m *conceptrank.Metrics
@@ -188,9 +199,9 @@ func main() {
 		var scan []conceptrank.Result
 		var bm *conceptrank.Metrics
 		if sds {
-			scan, bm, err = eng.FullScanSDS(concepts, conceptrank.WithK(*k))
+			scan, bm, err = eng.FullScanSDS(concepts, conceptrank.WithK(*k), conceptrank.WithMeasure(opts.Measure))
 		} else {
-			scan, bm, err = eng.FullScanRDS(concepts, conceptrank.WithK(*k))
+			scan, bm, err = eng.FullScanRDS(concepts, conceptrank.WithK(*k), conceptrank.WithMeasure(opts.Measure))
 		}
 		if err != nil {
 			log.Fatal(err)

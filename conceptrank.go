@@ -21,6 +21,27 @@
 // and baseline implementations (full scan, pairwise BL, Threshold
 // Algorithm) for comparison.
 //
+// # Distance measures
+//
+// The paper's Rada shortest-valid-path distance is the default, but the
+// concept-pair distance is pluggable: pass WithMeasure (or set
+// Options.Measure) with a DistanceMeasure — RadaMeasure, NewDensityMeasure
+// or NewEnhancedMeasure, or any implementation of the contract documented
+// in internal/measure — and every entry point (RDS/SDS, cursors, batches,
+// full scans, MergedRDS, HybridRDS, sharded engines) ranks under that
+// measure through the same pruning, cache and telemetry infrastructure.
+// Rankings stay exact for every conforming measure; cache entries are
+// keyed per measure, so warm results never cross measures.
+//
+// # Distance helpers
+//
+// The package-level distance helpers (ConceptDistance, DocQueryDistance,
+// DocDocDistance, DocQueryDistanceWeighted, DocDocDistanceWeighted) share
+// one error convention: they return a bare value, and inputs with no
+// valid connecting path (or a D-Radix construction failure) yield the
+// distance sentinel float64(MaxInt32) rather than an error. Weighted and
+// unweighted forms behave identically; no helper returns an error.
+//
 // # Quick start
 //
 //	o, _ := conceptrank.GenerateOntology(conceptrank.OntologyConfig{NumConcepts: 10000, Seed: 1})
@@ -36,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 
 	"conceptrank/internal/cache"
@@ -45,6 +67,7 @@ import (
 	"conceptrank/internal/drc"
 	"conceptrank/internal/emrgen"
 	"conceptrank/internal/index"
+	"conceptrank/internal/measure"
 	"conceptrank/internal/nlp"
 	"conceptrank/internal/ontogen"
 	"conceptrank/internal/ontology"
@@ -143,7 +166,31 @@ type (
 	Annotator = nlp.Matcher
 	// Mention is one recognized concept occurrence in text.
 	Mention = nlp.Mention
+	// DistanceMeasure is a pluggable concept-pair distance (Options.Measure
+	// / WithMeasure). Implementations must satisfy the symmetry, identity
+	// and monotone level-bound contract documented in internal/measure; the
+	// built-ins are RadaMeasure, NewDensityMeasure and NewEnhancedMeasure.
+	DistanceMeasure = measure.Measure
 )
+
+// RadaMeasure returns the paper's default shortest-valid-path distance as
+// an explicit DistanceMeasure. A nil Options.Measure selects the same
+// distance on its DRC fast path; passing RadaMeasure() routes it through
+// the generic measure machinery instead (rankings are bitwise identical —
+// the equivalence grids in internal/core pin the two paths).
+func RadaMeasure() DistanceMeasure { return measure.Rada() }
+
+// NewDensityMeasure returns the density-compensated path distance (after
+// Zhu et al.): path hops through dense ontology regions count as smaller
+// semantic steps. The measure precomputes per-concept density factors of o
+// and must only be used with engines over the same ontology.
+func NewDensityMeasure(o *Ontology) DistanceMeasure { return measure.NewDensity(o) }
+
+// NewEnhancedMeasure returns the depth-weighted distance (after Daoui et
+// al.): the same path length separates deep, specific concepts less than
+// shallow, general ones. Precomputes per-concept depths of o; use only
+// with engines over the same ontology.
+func NewEnhancedMeasure(o *Ontology) DistanceMeasure { return measure.NewEnhanced(o) }
 
 // Functional options, re-exported from internal/core. They layer over the
 // Options struct: NewOptions(WithK(5)) is Options{K: 5}, and any Options
@@ -170,6 +217,12 @@ func WithTrace(fn TraceFunc) Option { return core.WithTrace(fn) }
 // WithCache attaches a distance cache to one query (Options.Cache). For
 // engine-wide caching use Engine.EnableCache instead.
 func WithCache(c *Cache) Option { return core.WithCache(c) }
+
+// WithMeasure selects the semantic distance measure for one query
+// (Options.Measure). nil — the default — is the paper's Rada distance on
+// its DRC fast path. Telemetry labels queries per measure (e.g. an RDS
+// query under the density measure records as "rds_density").
+func WithMeasure(m DistanceMeasure) Option { return core.WithMeasure(m) }
 
 // Span event kinds a Trace hook can observe, re-exported from the engine.
 const (
@@ -307,10 +360,16 @@ func (e *Engine) EnableTelemetry(sink *Telemetry) { e.tel = sink }
 
 // instrument opens a telemetry recording for one query, splicing the
 // sink's recorder in front of any caller trace hook. It returns nil when
-// telemetry is disabled — the query then runs exactly as before.
+// telemetry is disabled — the query then runs exactly as before. Queries
+// under a non-default measure record under a per-measure label
+// ("rds_density", "scan_rds_enhanced", ...), so dashboards separate
+// measures the way they separate query kinds.
 func (e *Engine) instrument(kind string, opts *Options) func(*Metrics, error) {
 	if e.tel == nil {
 		return nil
+	}
+	if opts.Measure != nil {
+		kind += "_" + opts.Measure.Name()
 	}
 	trace, done := e.tel.Query(kind, opts.Trace)
 	opts.Trace = trace
@@ -637,7 +696,10 @@ func (e *Engine) FullScanSDS(queryDoc []ConceptID, opts ...Option) ([]Result, *M
 }
 
 func (e *Engine) fullScan(sds bool, query []ConceptID, opts []Option) ([]Result, *Metrics, error) {
-	o := core.NewOptions(opts...)
+	// withCache here mirrors RDSContext/SDSContext: an engine-level cache
+	// installed with EnableCache accelerates the scan (an explicit
+	// WithCache still wins). Rankings are identical either way.
+	o := e.withCache(core.NewOptions(opts...))
 	kind := "scan_rds"
 	if sds {
 		kind = "scan_sds"
@@ -662,17 +724,25 @@ func (e *Engine) fullScan(sds bool, query []ConceptID, opts []Option) ([]Result,
 // FullScanRDSParallel is FullScanRDS with the scan partitioned across
 // workers (<= 0 selects GOMAXPROCS).
 //
-// Deprecated: use FullScanRDS with WithK and WithWorkers.
+// Deprecated: use FullScanRDS with WithK and WithWorkers. This shim will
+// be removed after one release.
 func (e *Engine) FullScanRDSParallel(query []ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	return e.inner.FullScanRDSParallel(query, k, workers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return e.FullScanRDS(query, WithK(k), WithWorkers(workers))
 }
 
 // FullScanSDSParallel is the partitioned full-scan baseline for
 // similarity queries.
 //
-// Deprecated: use FullScanSDS with WithK and WithWorkers.
+// Deprecated: use FullScanSDS with WithK and WithWorkers. This shim will
+// be removed after one release.
 func (e *Engine) FullScanSDSParallel(queryDoc []ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	return e.inner.FullScanSDSParallel(queryDoc, k, workers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return e.FullScanSDS(queryDoc, WithK(k), WithWorkers(workers))
 }
 
 // SaveOntology writes o to path in the checksummed binary format.

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,23 +60,21 @@ func main() {
 		fmt.Println()
 	}
 
-	pureText, err := eng.HybridRDS(queryConcepts, queryText, tix, 0, 5)
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	hybrid := func(alpha float64) []conceptrank.HybridResult {
+		res, _, err := eng.HybridRDS(ctx, queryConcepts, queryText,
+			conceptrank.WithTextIndex(tix),
+			conceptrank.WithFusionWeight(alpha),
+			conceptrank.WithHybridK(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
-	show("pure BM25 (alpha=0): only notes containing the words", pureText)
 
-	pureSem, err := eng.HybridRDS(queryConcepts, queryText, tix, 1, 5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	show("pure concept ranking (alpha=1): ontologically close notes too", pureSem)
-
-	blended, err := eng.HybridRDS(queryConcepts, queryText, tix, 0.6, 5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	show("blended (alpha=0.6)", blended)
+	show("pure BM25 (alpha=0): only notes containing the words", hybrid(0))
+	show("pure concept ranking (alpha=1): ontologically close notes too", hybrid(1))
+	show("blended (alpha=0.6)", hybrid(0.6))
 
 	// And the fast path for the same semantic query via kNDS:
 	results, m, err := eng.RDS(queryConcepts, conceptrank.Options{K: 5, ErrorThreshold: 0.9})

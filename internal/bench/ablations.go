@@ -238,7 +238,7 @@ func All(env *Env) ([]*Table, error) {
 		return nil, err
 	}
 	out = append(out, ex)
-	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery, ShardSweep, TelemetryOverhead, CursorResume, PairJoin} {
+	for _, fn := range []func(*Env) (*Table, error){AblationDedup, AblationQueueLimit, AblationSkipCovered, AblationStore, TAExperiment, ParallelSpeedup, ParallelIntraQuery, ShardSweep, TelemetryOverhead, CursorResume, PairJoin, MeasureSweep} {
 		tbl, err := fn(env)
 		if err != nil {
 			return nil, err
@@ -256,7 +256,7 @@ func All(env *Env) ([]*Table, error) {
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
 	"dedup", "queue", "skip", "store", "ta", "parallel", "shard",
-	"telemetry", "cursor", "cache", "pairs", "all",
+	"telemetry", "cursor", "cache", "pairs", "measures", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -318,6 +318,9 @@ func Run(env *Env, name string) ([]*Table, error) {
 		return CacheSweep(env)
 	case "pairs":
 		t, err := PairJoin(env)
+		return []*Table{t}, err
+	case "measures":
+		t, err := MeasureSweep(env)
 		return []*Table{t}, err
 	case "all", "":
 		return All(env)

@@ -78,7 +78,7 @@ func ParallelIntraQuery(env *Env) (*Table, error) {
 			}
 			start := time.Now()
 			for _, q := range queries {
-				if _, _, err := ds.Engine.FullScanRDSParallel(q, DefaultK, w); err != nil {
+				if _, _, err := ds.Engine.FullScanRDS(q, core.Options{K: DefaultK, Workers: w}); err != nil {
 					return nil, err
 				}
 			}

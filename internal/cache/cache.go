@@ -6,7 +6,10 @@
 //     concept) and stamped with the corpus generation (document count)
 //     they were computed under, and
 //   - concept-pair valid-path distances, keyed on (namespace, concept,
-//     concept) — the memo the incremental seed refresh runs on.
+//     concept) — the memo the incremental seed refresh runs on, and
+//   - measure seed vectors — the float-valued counterpart of a seed
+//     vector under a pluggable distance measure, keyed on (corpus,
+//     measure, concept) so warm entries never cross measures.
 //
 // The cache itself knows nothing about ontologies or engines: it stores
 // opaque vectors under 128-bit keys and enforces a byte budget. The plan
@@ -51,6 +54,25 @@ type Seed struct {
 	Docs []DocDist
 }
 
+// DocFDist is one component of a measure seed vector: document doc is at
+// exact measure distance Dist from the vector's concept — the generalized
+// Eq. 1, min over the document's concepts of the measure's pair distance.
+type DocFDist struct {
+	Doc  corpus.DocID
+	Dist float64
+}
+
+// MSeed is a cached measure seed vector — the float-valued counterpart of
+// Seed for a pluggable distance measure (internal/measure). It is keyed on
+// (corpus, measure, concept): measure identity participates in the key so
+// warm entries never cross measures. Docs is ascending by Doc, covers
+// exactly the reachable documents of [0, Gen), and is read-only once
+// stored.
+type MSeed struct {
+	Gen  int
+	Docs []DocFDist
+}
+
 // Config parameterizes a Cache. The zero value is usable: 64 MiB across
 // 16 shards, admit on first miss.
 type Config struct {
@@ -91,6 +113,7 @@ type key struct {
 const (
 	kindSeed uint8 = iota
 	kindPair
+	kindMSeed
 )
 
 // hash mixes the key into a shard selector (splitmix64-style finalizer).
@@ -106,6 +129,7 @@ func (k key) hash() uint64 {
 type entry struct {
 	k          key
 	seed       Seed  // kindSeed
+	mseed      MSeed // kindMSeed
 	dist       int32 // kindPair
 	bytes      int64
 	prev, next *entry
@@ -117,6 +141,8 @@ type entry struct {
 const entryOverhead = 96
 
 func seedCost(s Seed) int64 { return entryOverhead + int64(len(s.Docs))*8 }
+
+func mseedCost(s MSeed) int64 { return entryOverhead + int64(len(s.Docs))*16 }
 
 // cshard is one lock shard: a map for lookup and a doubly-linked LRU list
 // with a sentinel (head.next = most recent, head.prev = least recent).
@@ -271,6 +297,72 @@ func (c *Cache) PutSeed(corpusID uint64, concept uint32, s Seed) bool {
 		return false
 	}
 	e := &entry{k: k, seed: s, bytes: seedCost(s)}
+	sh.m[k] = e
+	sh.pushFront(e)
+	sh.bytes += e.bytes
+	c.bytes.Add(e.bytes)
+	c.entries.Add(1)
+	c.shrink(sh)
+	return true
+}
+
+// mseedKey builds the (corpus, measure, concept) key of a measure seed
+// vector. The measure identity occupies the high half of the second key
+// word, so two measures over the same corpus and concept never collide —
+// a warm vector cannot be served to a different measure.
+func mseedKey(corpusID uint64, measureID, concept uint32) key {
+	return key{kind: kindMSeed, a: corpusID, b: uint64(measureID)<<32 | uint64(concept)}
+}
+
+// GetMeasureSeed returns the measure seed vector stored for (corpusID,
+// measureID, concept), at whatever generation it was last written. Like
+// GetSeed, a stale entry still counts as a hit — the caller refreshes it
+// incrementally. Measure seeds share the seed hit/miss/refresh counters.
+func (c *Cache) GetMeasureSeed(corpusID uint64, measureID, concept uint32) (MSeed, bool) {
+	k := mseedKey(corpusID, measureID, concept)
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if e, ok := sh.m[k]; ok {
+		sh.touch(e)
+		s := e.mseed
+		sh.mu.Unlock()
+		c.seedHits.Add(1)
+		return s, true
+	}
+	sh.noteMiss(k)
+	sh.mu.Unlock()
+	c.seedMisses.Add(1)
+	return MSeed{}, false
+}
+
+// PutMeasureSeed stores s under (corpusID, measureID, concept) and reports
+// whether it was admitted; same generation and doorkeeper semantics as
+// PutSeed.
+func (c *Cache) PutMeasureSeed(corpusID uint64, measureID, concept uint32, s MSeed) bool {
+	k := mseedKey(corpusID, measureID, concept)
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[k]; ok {
+		if e.mseed.Gen >= s.Gen {
+			sh.touch(e)
+			return true
+		}
+		nb := mseedCost(s)
+		sh.bytes += nb - e.bytes
+		c.bytes.Add(nb - e.bytes)
+		e.mseed = s
+		e.bytes = nb
+		sh.touch(e)
+		c.seedRefreshes.Add(1)
+		c.shrink(sh)
+		return true
+	}
+	if !sh.admits(k, c.admitAfter) {
+		c.rejected.Add(1)
+		return false
+	}
+	e := &entry{k: k, mseed: s, bytes: mseedCost(s)}
 	sh.m[k] = e
 	sh.pushFront(e)
 	sh.bytes += e.bytes

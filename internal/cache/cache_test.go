@@ -217,3 +217,81 @@ func TestGenerationWinsUnderConcurrentRefresh(t *testing.T) {
 		t.Fatalf("final entry = %+v, %v", got, ok)
 	}
 }
+
+func mseedOf(gen, n int) MSeed {
+	docs := make([]DocFDist, n)
+	for i := range docs {
+		docs[i] = DocFDist{Doc: corpus.DocID(i), Dist: float64(i%7) * 0.5}
+	}
+	return MSeed{Gen: gen, Docs: docs}
+}
+
+func TestMeasureSeedRoundTrip(t *testing.T) {
+	c := New(Config{})
+	if _, ok := c.GetMeasureSeed(1, 100, 42); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := mseedOf(10, 10)
+	if !c.PutMeasureSeed(1, 100, 42, want) {
+		t.Fatal("default config rejected a put")
+	}
+	got, ok := c.GetMeasureSeed(1, 100, 42)
+	if !ok || got.Gen != 10 || len(got.Docs) != 10 {
+		t.Fatalf("GetMeasureSeed = %+v, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Bytes != entryOverhead+160 {
+		t.Fatalf("bytes = %d, want %d (16 bytes per DocFDist)", st.Bytes, entryOverhead+160)
+	}
+}
+
+// TestMeasureSeedKeySeparation: entries are keyed per (corpus, measure,
+// concept) — no axis leaks into another, and measure seeds never collide
+// with plain seeds for the same concept.
+func TestMeasureSeedKeySeparation(t *testing.T) {
+	c := New(Config{})
+	c.PutMeasureSeed(1, 100, 42, mseedOf(10, 3))
+	if _, ok := c.GetMeasureSeed(1, 101, 42); ok {
+		t.Fatal("vector leaked across measure IDs")
+	}
+	if _, ok := c.GetMeasureSeed(2, 100, 42); ok {
+		t.Fatal("vector leaked across corpus IDs")
+	}
+	if _, ok := c.GetMeasureSeed(1, 100, 43); ok {
+		t.Fatal("vector leaked across concepts")
+	}
+	if _, ok := c.GetSeed(1, 42); ok {
+		t.Fatal("measure seed visible as a plain seed")
+	}
+	c.PutSeed(1, 42, seedOf(10, 3))
+	got, ok := c.GetMeasureSeed(1, 100, 42)
+	if !ok || len(got.Docs) != 3 {
+		t.Fatalf("plain seed clobbered the measure seed: %+v, %v", got, ok)
+	}
+	// Concepts with the same low bits under different measures stay apart.
+	c.PutMeasureSeed(1, 7, 9, mseedOf(5, 1))
+	c.PutMeasureSeed(1, 9, 7, mseedOf(5, 2))
+	a, _ := c.GetMeasureSeed(1, 7, 9)
+	b, _ := c.GetMeasureSeed(1, 9, 7)
+	if len(a.Docs) != 1 || len(b.Docs) != 2 {
+		t.Fatalf("measure/concept packing collided: %d vs %d docs", len(a.Docs), len(b.Docs))
+	}
+}
+
+func TestPutMeasureSeedGenerationGuard(t *testing.T) {
+	c := New(Config{})
+	c.PutMeasureSeed(1, 100, 7, mseedOf(20, 20))
+	// A stale or same-generation put must not clobber the newer vector.
+	c.PutMeasureSeed(1, 100, 7, mseedOf(10, 10))
+	c.PutMeasureSeed(1, 100, 7, mseedOf(20, 5))
+	got, _ := c.GetMeasureSeed(1, 100, 7)
+	if got.Gen != 20 || len(got.Docs) != 20 {
+		t.Fatalf("stale put won: %+v", got)
+	}
+	// A newer generation replaces.
+	c.PutMeasureSeed(1, 100, 7, mseedOf(30, 30))
+	got, _ = c.GetMeasureSeed(1, 100, 7)
+	if got.Gen != 30 || len(got.Docs) != 30 {
+		t.Fatalf("newer generation lost: %+v", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"conceptrank/internal/corpus"
 	"conceptrank/internal/drc"
 	"conceptrank/internal/index"
+	"conceptrank/internal/measure"
 	"conceptrank/internal/ontology"
 	"conceptrank/internal/store"
 )
@@ -131,6 +132,21 @@ type Options struct {
 	// ignore the cache: the symmetric distance needs per-document concept
 	// coverage (M'd of Eq. 7) that a seed vector does not carry.
 	Cache *cache.Cache
+	// Measure selects the semantic distance measure (internal/measure).
+	// nil keeps the paper's Rada shortest-valid-path distance on its DRC
+	// fast path; a non-nil measure routes the query through the generic
+	// measure pipeline, whose exact distances come from per-origin valid-
+	// path vectors (or measure seed vectors served from Cache) instead of
+	// DRC. measure.Rada() computes the identical distance through the
+	// generic machinery — the equivalence grids pin the two paths bit for
+	// bit. A measure must honor the contract documented in
+	// internal/measure; the kNDS bounds (and thus result exactness) depend
+	// on it. Incompatible with UseBL (the pairwise ablation calculator is
+	// Rada-only): queries with both set fail with ErrMeasureBL.
+	// Optimization 3 does not apply under a measure — a first contact is
+	// the nearest *path*, not necessarily the smallest measure value, so
+	// exact distances are always recomputed at examination.
+	Measure measure.Measure
 	// Trace, when non-nil, receives typed span events (see TraceKind) with
 	// monotonic timestamps: WaveStart/WaveEnd around each BFS depth level,
 	// DRCProbe per exact-distance examination, ForcedExam on queue-limit
@@ -276,6 +292,13 @@ var ErrEmptyQuery = errors.New("core: query has no concepts")
 
 // ErrNegativeWorkers is returned when Options.Workers is negative.
 var ErrNegativeWorkers = errors.New("core: Options.Workers must be >= 0")
+
+// ErrMeasureBL is returned when Options.Measure is combined with the
+// UseBL ablation path, which hardwires the Rada distance.
+var ErrMeasureBL = errors.New("core: Options.Measure is incompatible with Options.UseBL")
+
+// ErrNoQueries is returned by MergedRDS when every query is empty.
+var ErrNoQueries = errors.New("core: no non-empty queries")
 
 // RDS returns the k documents most relevant to the query concepts
 // (Definition 1), ordered by ascending Ddq.

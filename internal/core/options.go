@@ -6,7 +6,10 @@ package core
 // Options remains the exhaustive configuration surface; functional options
 // cover the knobs callers actually tune per call.
 
-import "conceptrank/internal/cache"
+import (
+	"conceptrank/internal/cache"
+	"conceptrank/internal/measure"
+)
 
 // Option mutates an Options value; apply a list with NewOptions or
 // Options.With.
@@ -34,6 +37,12 @@ func WithTrace(fn TraceFunc) Option { return func(o *Options) { o.Trace = fn } }
 // served from c, with generation-based invalidation for growing corpora.
 // Rankings are bitwise identical with and without a cache.
 func WithCache(c *cache.Cache) Option { return func(o *Options) { o.Cache = c } }
+
+// WithMeasure selects the semantic distance measure (Options.Measure).
+// nil — the default — keeps the paper's Rada shortest-valid-path distance
+// on its DRC fast path; see Options.Measure for the generic-pipeline
+// contract.
+func WithMeasure(m measure.Measure) Option { return func(o *Options) { o.Measure = m } }
 
 // NewOptions builds an Options value by applying opts over the zero value.
 // The result is not normalized; queries normalize on entry as usual.

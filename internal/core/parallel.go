@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"time"
 
@@ -54,8 +53,9 @@ type cand struct {
 
 // speculator owns the per-query worker pool for speculative examinations.
 // It is inert (every method a no-op) when the query runs serial: Workers
-// <= 1, or the UseBL ablation path, whose pairwise calculator is not safe
-// for concurrent use.
+// <= 1, the UseBL ablation path (whose pairwise calculator is not safe for
+// concurrent use), or the generic measure path — prep is nil there, exact
+// distances come from in-memory vectors and are too cheap to overlap.
 type speculator struct {
 	e      *Engine
 	sds    bool
@@ -176,31 +176,12 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 // the same total order the serial scan's strict-eviction heap induces, so
 // results are identical to FullScanRDS/FullScanSDS.
 
-// FullScanRDSParallel ranks every document by Ddq on a worker pool
-// (workers <= 0 selects GOMAXPROCS) and returns the top k.
-//
-// Deprecated: use FullScanRDS with Options{K: k, Workers: workers}.
-func (e *Engine) FullScanRDSParallel(q []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	return e.fullScanDispatch(false, q, Options{K: k, Workers: defaultWorkers(workers)})
-}
-
-// FullScanSDSParallel ranks every document by Ddd on a worker pool.
-//
-// Deprecated: use FullScanSDS with Options{K: k, Workers: workers}.
-func (e *Engine) FullScanSDSParallel(queryDoc []ontology.ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	return e.fullScanDispatch(true, queryDoc, Options{K: k, Workers: defaultWorkers(workers)})
-}
-
-func defaultWorkers(w int) int {
-	if w <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return w
-}
-
 // fullScanParallel is the partitioned scan; the dispatcher guarantees
-// opts.Workers > 1 and !opts.UseBL.
-func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
+// opts.Workers > 1 and !opts.UseBL. With a measure, every worker shares
+// the read-only valid-path vectors prepared up front; the per-document
+// evaluation is measureDocDistance, so results match the serial scan
+// exactly here too.
+func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []ontology.ConceptID, opts Options) ([]Result, *Metrics, error) {
 	workers := opts.Workers
 	m := &Metrics{}
 	defer e.beginQuery(m)()
@@ -215,7 +196,16 @@ func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, opts 
 		k = 10
 	}
 	t0 := time.Now()
-	prep := drc.PrepareCached(e.o, q, 0, e.addrCache)
+	var prep *drc.Prepared
+	var mvecs [][]int32
+	if opts.Measure != nil {
+		mvecs = make([][]int32, len(q))
+		for i, c := range q {
+			mvecs[i] = validPathDistances(e.o, c)
+		}
+	} else {
+		prep = drc.PrepareCached(e.o, q, 0, e.addrCache)
+	}
 	m.DistanceTime += time.Since(t0)
 
 	n := e.numDocs()
@@ -233,7 +223,7 @@ func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, opts 
 	}
 	chunks := make([]chunkResult, workers)
 	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
-	g, _ := pool.GroupWithContext(context.Background())
+	g, gctx := pool.GroupWithContext(ctx)
 	for w := 0; w < workers; w++ {
 		w := w
 		lo := corpus.DocID(w * n / workers)
@@ -242,6 +232,11 @@ func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, opts 
 			hk := newTopK(k)
 			cr := &chunks[w]
 			for d := lo; d < hi; d++ {
+				if (d-lo)%scanCancelStride == 0 {
+					if err := gctx.Err(); err != nil {
+						return err
+					}
+				}
 				concepts, err := e.fwd.Concepts(d)
 				if err != nil {
 					return err
@@ -251,9 +246,12 @@ func (e *Engine) fullScanParallel(sds bool, rawQuery []ontology.ConceptID, opts 
 				}
 				t1 := time.Now()
 				var dist float64
-				if sds {
+				switch {
+				case opts.Measure != nil:
+					dist = measureDocDistance(opts.Measure, q, mvecs, concepts, sds)
+				case sds:
 					dist, err = prep.DocDoc(concepts)
-				} else {
+				default:
 					dist, err = prep.DocQuery(concepts)
 				}
 				cr.distTime += time.Since(t1)

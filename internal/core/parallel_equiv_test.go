@@ -171,7 +171,7 @@ func TestParallelEquivalenceTieBreaking(t *testing.T) {
 		t.Fatal(err)
 	}
 	check(scan, "full scan")
-	pscan, _, err := e.FullScanRDSParallel(q, k, 4)
+	pscan, _, err := e.FullScanRDS(q, Options{K: k, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,9 +379,9 @@ func TestFullScanParallelMatchesSerial(t *testing.T) {
 		}
 		workers := 2 + r.Intn(6)
 		if sds {
-			got, _, err = e.FullScanSDSParallel(q, k, workers)
+			got, _, err = e.FullScanSDS(q, Options{K: k, Workers: workers})
 		} else {
-			got, _, err = e.FullScanRDSParallel(q, k, workers)
+			got, _, err = e.FullScanRDS(q, Options{K: k, Workers: workers})
 		}
 		if err != nil {
 			t.Fatal(err)

@@ -48,9 +48,11 @@ import (
 	"sort"
 	"time"
 
+	"conceptrank/internal/cache"
 	"conceptrank/internal/corpus"
 	"conceptrank/internal/distance"
 	"conceptrank/internal/drc"
+	"conceptrank/internal/measure"
 	"conceptrank/internal/ontology"
 )
 
@@ -64,6 +66,26 @@ type queryPlan struct {
 	prep      *drc.Prepared
 	bl        *distance.BL
 	policy    ExamPolicy
+	// Generic measure mode (opts.Measure != nil). meas replaces DRC as the
+	// exact-distance source: examinations evaluate the measure over the
+	// per-origin valid-path distance vectors mvecs (mvecs[i][c] is the
+	// shortest valid-path length from q[i] to concept c, infDist when
+	// unreachable). When every origin was served from a measure seed vector
+	// instead (mseeded), mvecs stays nil — the injected coverage already
+	// holds the exact per-origin minima.
+	meas    measure.Measure
+	mvecs   [][]int32
+	mseeded bool
+}
+
+// floorOf translates the wave stepper's traversal floor (a BFS depth) into
+// the distance floor the bound table prunes with: the depth itself for the
+// default Rada path, the measure's monotone LevelBound otherwise.
+func (p *queryPlan) floorOf(bound float64) float64 {
+	if p.meas == nil {
+		return bound
+	}
+	return p.meas.LevelBound(bound)
 }
 
 // plan validates and normalizes the query and prepares the exact-distance
@@ -85,9 +107,15 @@ func (e *Engine) plan(sds bool, rawQuery []ontology.ConceptID, opts Options, m *
 	}
 	p := &queryPlan{sds: sds, q: q, nq: int32(len(q)), opts: opts, totalDocs: totalDocs}
 	distStart := time.Now()
-	if opts.UseBL {
+	switch {
+	case opts.Measure != nil:
+		if opts.UseBL {
+			return nil, ErrMeasureBL
+		}
+		p.meas = opts.Measure // exact distances come from valid-path vectors, not DRC
+	case opts.UseBL:
 		p.bl = distance.NewBL(e.o, 0)
-	} else {
+	default:
 		cache := e.addrCache
 		if opts.MaxPaths > 0 {
 			cache = nil // capped enumeration differs from the cached one
@@ -212,6 +240,11 @@ func (w *waveStepper) reclaim() {
 }
 
 // docState is the paper's Ld entry: per-candidate accumulated distances.
+// The default Rada path uses the integer fields (first contact is final:
+// BFS depth order makes the first contacted concept the per-origin
+// minimum). The generic measure path uses the float fields instead — a
+// running minimum per origin, because a measure value is not monotone in
+// contact order even though path lengths are.
 type docState struct {
 	coveredA  []int32 // per query-origin min distance; -1 = not covered (Md)
 	nCoveredA int32
@@ -220,6 +253,14 @@ type docState struct {
 	coveredB map[ontology.ConceptID]int32
 	sumB     int64
 	sizeB    int32 // |d|
+	// Generic measure mode: per-origin running minimum of the measure over
+	// contacted concepts (+Inf = origin not covered), its sum over covered
+	// origins, and the direction-B equivalents.
+	minA  []float64
+	sumAF float64
+	minB  map[ontology.ConceptID]float64
+	sumBF float64
+
 	examined bool
 	pruned   bool
 	// Speculation cache (Workers > 1): the exact distance computed ahead of
@@ -236,16 +277,22 @@ type docState struct {
 const unset = int32(-1)
 
 // boundTable accumulates partial distances and lower bounds (Eqs. 5-8)
-// for every discovered document.
+// for every discovered document. With a non-nil measure it runs the
+// generalized forms: per-origin running minima of the measure instead of
+// first-contact path lengths, and every uncovered term floored by the
+// measure's LevelBound at the traversal depth (the floor the executor
+// passes in).
 type boundTable struct {
 	sds    bool
 	nq     int32
+	meas   measure.Measure      // nil on the default Rada path
+	q      []ontology.ConceptID // deduplicated query, for measure evaluation
 	states map[corpus.DocID]*docState
 	live   []corpus.DocID // discovered, not yet examined or pruned
 }
 
-func newBoundTable(sds bool, nq int32) *boundTable {
-	return &boundTable{sds: sds, nq: nq, states: make(map[corpus.DocID]*docState)}
+func newBoundTable(sds bool, nq int32, meas measure.Measure, q []ontology.ConceptID) *boundTable {
+	return &boundTable{sds: sds, nq: nq, meas: meas, q: q, states: make(map[corpus.DocID]*docState)}
 }
 
 // observe records one BFS contact with doc. Coverage keeps accumulating
@@ -255,9 +302,17 @@ func newBoundTable(sds bool, nq int32) *boundTable {
 func (b *boundTable) observe(e *Engine, doc corpus.DocID, s bfsState, m *Metrics) error {
 	st := b.states[doc]
 	if st == nil {
-		st = &docState{coveredA: make([]int32, b.nq)}
-		for i := range st.coveredA {
-			st.coveredA[i] = unset
+		st = &docState{}
+		if b.meas != nil {
+			st.minA = make([]float64, b.nq)
+			for i := range st.minA {
+				st.minA[i] = math.Inf(1)
+			}
+		} else {
+			st.coveredA = make([]int32, b.nq)
+			for i := range st.coveredA {
+				st.coveredA[i] = unset
+			}
 		}
 		if b.sds {
 			n, err := e.fwd.NumConcepts(doc)
@@ -265,13 +320,21 @@ func (b *boundTable) observe(e *Engine, doc corpus.DocID, s bfsState, m *Metrics
 				return fmt.Errorf("core: forward(%d): %w", doc, err)
 			}
 			st.sizeB = int32(n)
-			st.coveredB = make(map[ontology.ConceptID]int32)
+			if b.meas != nil {
+				st.minB = make(map[ontology.ConceptID]float64)
+			} else {
+				st.coveredB = make(map[ontology.ConceptID]int32)
+			}
 		}
 		b.states[doc] = st
 		b.live = append(b.live, doc)
 		m.DocsDiscovered++
 	}
 	if st.examined {
+		return nil
+	}
+	if b.meas != nil {
+		b.observeMeasure(st, s)
 		return nil
 	}
 	if st.coveredA[s.origin] == unset {
@@ -288,8 +351,38 @@ func (b *boundTable) observe(e *Engine, doc corpus.DocID, s bfsState, m *Metrics
 	return nil
 }
 
+// observeMeasure folds one contact into the generic running minima. Unlike
+// the Rada path, later contacts can improve a covered term: the traversal
+// reveals pairs in path-length order, but the measure value of a longer
+// path through different endpoints may be smaller.
+func (b *boundTable) observeMeasure(st *docState, s bfsState) {
+	v := b.meas.Pair(b.q[s.origin], s.node, s.depth)
+	if old := st.minA[s.origin]; v < old {
+		if math.IsInf(old, 1) {
+			st.nCoveredA++
+			st.sumAF += v
+		} else {
+			st.sumAF += v - old
+		}
+		st.minA[s.origin] = v
+	}
+	if b.sds {
+		// The measure is symmetric, so the same value covers direction B.
+		if old, ok := st.minB[s.node]; !ok {
+			st.minB[s.node] = v
+			st.sumBF += v
+		} else if v < old {
+			st.minB[s.node] = v
+			st.sumBF += v - old
+		}
+	}
+}
+
 // partialOf is the accumulated partial distance (Eqs. 5, 7).
 func (b *boundTable) partialOf(st *docState) float64 {
+	if b.meas != nil {
+		return b.partialOfMeasure(st)
+	}
 	if !b.sds {
 		return float64(st.sumA)
 	}
@@ -300,16 +393,31 @@ func (b *boundTable) partialOf(st *docState) float64 {
 	return p
 }
 
+func (b *boundTable) partialOfMeasure(st *docState) float64 {
+	if !b.sds {
+		return st.sumAF
+	}
+	p := st.sumAF / float64(b.nq)
+	if st.sizeB > 0 {
+		p += st.sumBF / float64(st.sizeB)
+	}
+	return p
+}
+
 // lowerOf is the lower bound (Eqs. 6, 8): every uncovered term contributes
-// at least bound.
-func (b *boundTable) lowerOf(st *docState, bound float64) float64 {
-	// Guard the uncovered terms: at traversal exhaustion bound is +Inf
+// at least floor — the traversal depth on the Rada path, the measure's
+// LevelBound at that depth in generic mode.
+func (b *boundTable) lowerOf(st *docState, floor float64) float64 {
+	if b.meas != nil {
+		return b.lowerOfMeasure(st, floor)
+	}
+	// Guard the uncovered terms: at traversal exhaustion floor is +Inf
 	// and a fully covered term must contribute exactly its sum
 	// (0 * Inf would be NaN).
 	uncoveredA := float64(int64(b.nq) - int64(st.nCoveredA))
 	termA := float64(st.sumA)
 	if uncoveredA > 0 {
-		termA += uncoveredA * bound
+		termA += uncoveredA * floor
 	}
 	if !b.sds {
 		return termA
@@ -318,27 +426,61 @@ func (b *boundTable) lowerOf(st *docState, bound float64) float64 {
 	if st.sizeB > 0 {
 		termB := float64(st.sumB)
 		if uncoveredB := float64(int(st.sizeB) - len(st.coveredB)); uncoveredB > 0 {
-			termB += uncoveredB * bound
+			termB += uncoveredB * floor
 		}
 		lb += termB / float64(st.sizeB)
 	}
 	return lb
 }
 
-// undiscoveredLB bounds any document the traversal has not touched yet.
-func (b *boundTable) undiscoveredLB(bound float64, totalDocs int) float64 {
+// lowerOfMeasure is the generic Eq. 6/8 form. A covered term's running
+// minimum is only an upper bound of its true contribution (a longer path
+// may still yield a smaller measure value), so each covered term
+// contributes min(running, floor) — every unseen pair is at least floor —
+// and each uncovered term contributes floor. O(nq) per candidate, versus
+// the Rada path's O(1) sums.
+func (b *boundTable) lowerOfMeasure(st *docState, floor float64) float64 {
+	termA := 0.0
+	for _, v := range st.minA {
+		// min(running, floor) covers every case, exhaustion included: an
+		// uncovered origin (v = +Inf) contributes floor; at floor = +Inf a
+		// covered origin contributes its running minimum; both +Inf makes
+		// the whole bound +Inf — same as the Rada path's uncovered term at
+		// exhaustion, and examination replaces it with the exact distance.
+		termA += math.Min(v, floor)
+	}
+	if !b.sds {
+		return termA
+	}
+	lb := termA / float64(b.nq)
+	if st.sizeB > 0 {
+		termB := 0.0
+		for _, v := range st.minB {
+			termB += math.Min(v, floor)
+		}
+		if uncoveredB := float64(int(st.sizeB) - len(st.minB)); uncoveredB > 0 {
+			termB += uncoveredB * floor
+		}
+		lb += termB / float64(st.sizeB)
+	}
+	return lb
+}
+
+// undiscoveredLB bounds any document the traversal has not touched yet;
+// floor has the same meaning as in lowerOf.
+func (b *boundTable) undiscoveredLB(floor float64, totalDocs int) float64 {
 	if len(b.states) >= totalDocs {
 		return math.Inf(1)
 	}
 	if !b.sds {
-		return float64(b.nq) * bound
+		return float64(b.nq) * floor
 	}
-	return 2 * bound
+	return 2 * floor
 }
 
 // candidates compacts the live list and returns the unexamined, unpruned
 // candidates in commit order (lower bound, then doc ID).
-func (b *boundTable) candidates(bound float64) []cand {
+func (b *boundTable) candidates(floor float64) []cand {
 	cands := make([]cand, 0, len(b.live))
 	compacted := b.live[:0]
 	for _, doc := range b.live {
@@ -347,7 +489,7 @@ func (b *boundTable) candidates(bound float64) []cand {
 			continue
 		}
 		compacted = append(compacted, doc)
-		cands = append(cands, cand{doc: doc, st: st, lb: b.lowerOf(st, bound), partial: b.partialOf(st)})
+		cands = append(cands, cand{doc: doc, st: st, lb: b.lowerOf(st, floor), partial: b.partialOf(st)})
 	}
 	b.live = compacted
 	sort.Slice(cands, func(i, j int) bool {
@@ -406,20 +548,37 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 	if err != nil {
 		return nil, m, err
 	}
-	// Resolve cached Ddc seed vectors (nil without Options.Cache). Seeded
+	// Resolve cached seed vectors (nil without Options.Cache): Ddc vectors
+	// on the default path, measure seed vectors in generic mode. Seeded
 	// origins are excluded from the BFS frontier; their exact coverage is
-	// injected into the bound table below, before the first wave.
-	seeds, err := e.loadSeeds(p, &tr, m)
+	// injected into the bound table below, before the first wave. Either
+	// loader resolves every origin or none, so a non-nil slice means the
+	// whole frontier is replaced by injection (an empty vector is a valid
+	// seed: no document contains a concept reachable from that origin,
+	// which is exactly what its BFS would have found).
+	var seeds [][]cache.DocDist
+	var mseeds [][]cache.DocFDist
+	if p.meas == nil {
+		seeds, err = e.loadSeeds(p, &tr, m)
+	} else {
+		mseeds, err = e.loadMeasureSeeds(p, &tr, m)
+		if err == nil && mseeds == nil {
+			// No cache (or SDS): examinations need the per-origin valid-path
+			// vectors to evaluate the measure exactly.
+			t0 := time.Now()
+			p.mvecs = make([][]int32, len(p.q))
+			for i, c := range p.q {
+				p.mvecs[i] = validPathDistances(e.o, c)
+			}
+			m.DistanceTime += time.Since(t0)
+		}
+	}
 	if err != nil {
 		return nil, m, err
 	}
-	// loadSeeds resolves every origin or none, so a non-nil seeds slice
-	// means the whole frontier is replaced by injection (an empty vector is
-	// a valid seed: no document contains a concept reachable from that
-	// origin, which is exactly what its BFS would have found).
 	var seeded []bool
-	if seeds != nil {
-		seeded = make([]bool, len(seeds))
+	if seeds != nil || mseeds != nil {
+		seeded = make([]bool, len(p.q))
 		for i := range seeded {
 			seeded[i] = true
 		}
@@ -430,7 +589,7 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 		m:    m,
 		tr:   tr,
 		step: newWaveStepper(e.o, p.q, opts.DedupVisits, seeded),
-		bt:   newBoundTable(sds, p.nq),
+		bt:   newBoundTable(sds, p.nq, p.meas, p.q),
 		coll: newCollector(opts.K),
 		spec: newSpeculator(e, sds, p.prep, p.nq, opts, p.policy, m),
 		// Each BFS depth level yields at most two waves (one if the queue
@@ -445,6 +604,14 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 		for i, docs := range seeds {
 			x.bt.injectSeed(int32(i), docs, p.totalDocs, m)
 		}
+		m.TraversalTime += time.Since(t0)
+	}
+	if mseeds != nil {
+		t0 := time.Now()
+		for i, docs := range mseeds {
+			x.bt.injectMeasureSeed(int32(i), docs, p.totalDocs, m)
+		}
+		p.mseeded = true
 		m.TraversalTime += time.Since(t0)
 	}
 	return x, m, nil
@@ -499,10 +666,14 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 		}
 	}
 	bound := x.step.bound()
+	// The distance floor every unseen pair is subject to: the BFS depth
+	// itself on the Rada path, the measure's LevelBound at that depth in
+	// generic mode (identical for measure.Rada()).
+	floor := x.p.floorOf(bound)
 
 	// --- Bound stage: refresh candidate bounds in commit order.
 	t1 := time.Now()
-	cands := x.bt.candidates(bound)
+	cands := x.bt.candidates(floor)
 	x.m.TraversalTime += time.Since(t1)
 
 	// Speculative parallel examination: prefetch exact distances for the
@@ -547,13 +718,13 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 	}
 
 	// --- Collect stage: termination floor, early output (optimization 4).
-	dMinus := x.bt.undiscoveredLB(bound, x.p.totalDocs)
+	dMinus := x.bt.undiscoveredLB(floor, x.p.totalDocs)
 	for _, doc := range x.bt.live {
 		st := x.bt.states[doc]
 		if st.examined || st.pruned {
 			continue
 		}
-		if lb := x.bt.lowerOf(st, bound); lb < dMinus {
+		if lb := x.bt.lowerOf(st, floor); lb < dMinus {
 			dMinus = lb
 		}
 	}
@@ -635,6 +806,23 @@ func (x *executor) traverse(forced *bool) error {
 func (x *executor) examine(doc corpus.DocID, st *docState) error {
 	st.examined = true
 	x.m.DocsExamined++
+	if x.p.meas != nil {
+		// Generic measure mode: optimization 3 is unsound here (running
+		// minima over contacted concepts are upper bounds, not exact), so
+		// the exact distance is always recomputed — from the injected seed
+		// minima when every origin was seeded, from the valid-path vectors
+		// otherwise.
+		t0 := time.Now()
+		dist, err := x.exactMeasure(doc, st)
+		x.m.DistanceTime += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		x.m.DRCCalls++
+		x.tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: doc, Value: dist, N: 1})
+		x.coll.offer(Result{Doc: doc, Distance: dist})
+		return nil
+	}
 	fullyCovered := st.nCoveredA == x.p.nq && (!x.p.sds || len(st.coveredB) == int(st.sizeB))
 	var dist float64
 	drcRan := 1

@@ -207,31 +207,43 @@ func (e *Engine) loadSeeds(p *queryPlan, tr *tracer, m *Metrics) ([][]cache.DocD
 	defer func() { m.TraversalTime += time.Since(t0) }()
 	seeds := make([][]cache.DocDist, len(p.q))
 	for i, c := range p.q {
-		s, ok := cc.GetSeed(e.cacheID, uint32(c))
-		if ok && s.Gen < p.totalDocs {
-			docs, err := e.refreshSeed(cc, c, s, p.totalDocs)
-			if err != nil {
-				return nil, err
-			}
-			s = cache.Seed{Gen: p.totalDocs, Docs: docs}
-			cc.PutSeed(e.cacheID, uint32(c), s)
+		docs, err := e.resolveSeed(cc, c, p.totalDocs, tr, m)
+		if err != nil {
+			return nil, err
 		}
-		if ok {
-			m.CacheHits++
-			tr.emit(TraceEvent{Kind: TraceCacheHit, N: int(c), Value: float64(len(s.Docs))})
-		} else {
-			docs, err := e.buildSeedVector(c, p.totalDocs)
-			if err != nil {
-				return nil, err
-			}
-			s = cache.Seed{Gen: p.totalDocs, Docs: docs}
-			cc.PutSeed(e.cacheID, uint32(c), s)
-			m.CacheMisses++
-			tr.emit(TraceEvent{Kind: TraceCacheMiss, N: int(c), Value: float64(len(s.Docs))})
-		}
-		seeds[i] = s.Docs
+		seeds[i] = docs
 	}
 	return seeds, nil
+}
+
+// resolveSeed serves one concept's Ddc seed vector from the cache: hit,
+// incremental refresh to gen, or miss-build-and-store. Shared by the kNDS
+// plan stage (loadSeeds), the seeded full scan and the merged ranker;
+// callers own the time attribution.
+func (e *Engine) resolveSeed(cc *cache.Cache, c ontology.ConceptID, gen int, tr *tracer, m *Metrics) ([]cache.DocDist, error) {
+	s, ok := cc.GetSeed(e.cacheID, uint32(c))
+	if ok && s.Gen < gen {
+		docs, err := e.refreshSeed(cc, c, s, gen)
+		if err != nil {
+			return nil, err
+		}
+		s = cache.Seed{Gen: gen, Docs: docs}
+		cc.PutSeed(e.cacheID, uint32(c), s)
+	}
+	if ok {
+		m.CacheHits++
+		tr.emit(TraceEvent{Kind: TraceCacheHit, N: int(c), Value: float64(len(s.Docs))})
+		return s.Docs, nil
+	}
+	docs, err := e.buildSeedVector(c, gen)
+	if err != nil {
+		return nil, err
+	}
+	s = cache.Seed{Gen: gen, Docs: docs}
+	cc.PutSeed(e.cacheID, uint32(c), s)
+	m.CacheMisses++
+	tr.emit(TraceEvent{Kind: TraceCacheMiss, N: int(c), Value: float64(len(s.Docs))})
+	return s.Docs, nil
 }
 
 // injectSeed pre-covers origin from a seed vector: every listed document

@@ -1,0 +1,230 @@
+// Package measure defines the pluggable semantic distance contract of the
+// kNDS stack and its built-in implementations.
+//
+// The paper hardwires the Rada shortest-valid-path distance into DRC and
+// the bound table (Eqs. 5-8). This package extracts the three properties
+// the branch-and-bound machinery actually relies on into an interface, so
+// alternative ontology distances can ride the same traversal, pruning,
+// cursor and cache infrastructure:
+//
+//   - a per-concept-pair distance, Pair(a, b, pathLen), defined as a
+//     function of the pair and the length of the shortest valid (up* down*)
+//     path between them;
+//   - a per-level seed reveal: the breadth-first traversal contacts
+//     concepts in ascending path-length order, so after level L every pair
+//     the query has not yet seen has pathLen > L; and
+//   - a monotone lower bound, LevelBound(level), that converts the reveal
+//     schedule into distance floors the bound table can prune with.
+//
+// # Contract
+//
+// Implementations MUST satisfy, for all concepts a, b and levels l1 <= l2:
+//
+//	symmetry     Pair(a, b, L) == Pair(b, a, L)
+//	identity     Pair(a, a, 0) == 0
+//	level bound  LevelBound(l1) <= LevelBound(l2), and
+//	             LevelBound(l)  <= Pair(a, b, L) for every L >= l with
+//	             L < Infinite
+//	sentinel     Pair(a, b, L) == Unreachable for every L >= Infinite,
+//	             and LevelBound(+Inf) == +Inf
+//	determinism  Pair and LevelBound are pure functions; a Measure is
+//	             immutable after construction and safe for concurrent use
+//	             (one Measure value is shared by every shard and worker
+//	             of an engine).
+//
+// Under this contract the document-level distances generalize Eqs. 2-3 by
+// replacing the path length with the measure:
+//
+//	Ddq(d, q) = Σ_{c∈q} min_{v∈d} Pair(c, v, pathLen(c, v))
+//	Ddd(d, e) = (1/|e|) Σ_{c∈e} min_{v∈d} Pair(...) +
+//	            (1/|d|) Σ_{v∈d} min_{c∈e} Pair(...)
+//
+// and the kNDS lower bounds stay valid: an origin uncontacted after level
+// L contributes at least LevelBound(L+1), so rankings computed through the
+// staged pipeline are exact for every conforming measure (the
+// measure-equivalence grids in internal/core pin this).
+//
+// The Rada measure is the identity instance (Pair = pathLen, LevelBound =
+// level); routed through the generic machinery it reproduces the default
+// engine bit for bit.
+package measure
+
+import (
+	"hash/fnv"
+	"math"
+
+	"conceptrank/internal/ontology"
+)
+
+// Infinite is the path-length sentinel meaning "no valid path". It matches
+// drc.Inf and the seed builders' infDist, so vectors and DRC agree on what
+// unreachable means.
+const Infinite = int32(math.MaxInt32)
+
+// Unreachable is the distance of an unreachable concept pair under every
+// measure — float64(Infinite), the same value DRC contributes for a query
+// concept with no valid path to the document.
+var Unreachable = float64(math.MaxInt32)
+
+// Measure is a pluggable concept-pair distance; see the package comment
+// for the contract the kNDS pipeline depends on.
+type Measure interface {
+	// Name identifies the measure (telemetry labels, CLI flags, cache
+	// identity). Two measures that can disagree on any Pair value must
+	// have different names.
+	Name() string
+	// Pair returns the distance between a and b given pathLen, the length
+	// of the shortest valid (up* down*) path between them. pathLen >=
+	// Infinite means no valid path exists and Pair must return Unreachable.
+	Pair(a, b ontology.ConceptID, pathLen int32) float64
+	// LevelBound returns a floor on Pair over every pair whose shortest
+	// valid path is at least level edges long. It must be monotone
+	// non-decreasing with LevelBound(0) == 0 and LevelBound(+Inf) == +Inf.
+	LevelBound(level float64) float64
+}
+
+// ID derives the measure's 32-bit cache identity from its name (FNV-1a).
+// Seed-vector cache keys include it, so warm entries never cross measures.
+func ID(m Measure) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(m.Name()))
+	return h.Sum32()
+}
+
+// Rada returns the paper's default measure: the shortest valid-path length
+// itself. Engines treat a nil Options.Measure as Rada on the DRC fast
+// path; passing this value instead routes the identical distance through
+// the generic measure machinery (the equivalence grids pin the two paths
+// bit for bit).
+func Rada() Measure { return radaMeasure{} }
+
+type radaMeasure struct{}
+
+func (radaMeasure) Name() string { return "rada" }
+
+func (radaMeasure) Pair(_, _ ontology.ConceptID, pathLen int32) float64 {
+	return float64(pathLen) // Infinite maps to Unreachable by construction
+}
+
+func (radaMeasure) LevelBound(level float64) float64 { return level }
+
+// Density is the density-compensated path distance adapted from Zhu et
+// al., "A density compensation-based path computing model for measuring
+// semantic similarity" (arXiv:1506.01245): a hop through a dense ontology
+// region (many siblings refining one idea) is a smaller semantic step than
+// a hop through a sparse one, so the raw path length is scaled by the
+// endpoints' local density.
+//
+// Each concept gets a density factor f(c) = ln(1 + deg(c)) / ln(1 + avg
+// deg), clamped to [0.5, 2], where deg counts parents plus children. The
+// pair distance is
+//
+//	Pair(a, b, L) = L · 2 / (f(a) + f(b))
+//
+// — symmetric, zero at L = 0, and bounded below by L / fmax where fmax is
+// the largest factor in the ontology, which is exactly LevelBound.
+type Density struct {
+	f         []float64
+	minFactor float64
+}
+
+// Density factor clamp: keeps one pathological hub or chain from
+// collapsing (or exploding) the whole ontology's distance scale.
+const (
+	densityFloor = 0.5
+	densityCeil  = 2.0
+)
+
+// NewDensity precomputes the per-concept density factors of o. The
+// returned measure is immutable and safe for concurrent use; it must only
+// be used with queries against the same ontology.
+func NewDensity(o *ontology.Ontology) *Density {
+	n := o.NumConcepts()
+	total := 0
+	for c := 0; c < n; c++ {
+		total += len(o.Parents(ontology.ConceptID(c))) + len(o.Children(ontology.ConceptID(c)))
+	}
+	avg := 1.0
+	if n > 0 {
+		avg = float64(total) / float64(n)
+	}
+	norm := math.Log(1 + avg)
+	if norm <= 0 {
+		norm = 1
+	}
+	d := &Density{f: make([]float64, n)}
+	maxF := densityFloor
+	for c := 0; c < n; c++ {
+		deg := len(o.Parents(ontology.ConceptID(c))) + len(o.Children(ontology.ConceptID(c)))
+		f := math.Log(1+float64(deg)) / norm
+		if f < densityFloor {
+			f = densityFloor
+		}
+		if f > densityCeil {
+			f = densityCeil
+		}
+		d.f[c] = f
+		if f > maxF {
+			maxF = f
+		}
+	}
+	d.minFactor = 1 / maxF
+	return d
+}
+
+// Name implements Measure.
+func (*Density) Name() string { return "density" }
+
+// Pair implements Measure.
+func (d *Density) Pair(a, b ontology.ConceptID, pathLen int32) float64 {
+	if pathLen >= Infinite {
+		return Unreachable
+	}
+	return float64(pathLen) * 2 / (d.f[a] + d.f[b])
+}
+
+// LevelBound implements Measure: level / fmax, the tightest uniform floor
+// over all pairs at that level.
+func (d *Density) LevelBound(level float64) float64 { return level * d.minFactor }
+
+// Enhanced is the depth-weighted distance adapted from Daoui, Gherabi and
+// Marzouk, "An enhanced method to compute the similarity between concepts
+// of ontology" (arXiv:1709.08880): the same path length means less
+// semantic separation between two deep (specific) concepts than between
+// two shallow (general) ones, so the path length is normalized by the
+// endpoints' depths:
+//
+//	Pair(a, b, L) = 2L / (2 + depth(a) + depth(b))
+//
+// LevelBound(L) = L / (1 + maxDepth) is the floor attained by the deepest
+// pair.
+type Enhanced struct {
+	depth    []float64
+	maxDepth float64
+}
+
+// NewEnhanced precomputes the per-concept depths of o. The returned
+// measure is immutable and safe for concurrent use; it must only be used
+// with queries against the same ontology.
+func NewEnhanced(o *ontology.Ontology) *Enhanced {
+	n := o.NumConcepts()
+	e := &Enhanced{depth: make([]float64, n), maxDepth: float64(o.MaxDepth())}
+	for c := 0; c < n; c++ {
+		e.depth[c] = float64(o.Depth(ontology.ConceptID(c)))
+	}
+	return e
+}
+
+// Name implements Measure.
+func (*Enhanced) Name() string { return "enhanced" }
+
+// Pair implements Measure.
+func (e *Enhanced) Pair(a, b ontology.ConceptID, pathLen int32) float64 {
+	if pathLen >= Infinite {
+		return Unreachable
+	}
+	return 2 * float64(pathLen) / (2 + e.depth[a] + e.depth[b])
+}
+
+// LevelBound implements Measure.
+func (e *Enhanced) LevelBound(level float64) float64 { return level / (1 + e.maxDepth) }

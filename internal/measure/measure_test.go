@@ -1,0 +1,141 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+// randomDAG builds a small random single-rooted DAG for property testing.
+func randomDAG(r *rand.Rand, n int) *ontology.Ontology {
+	b := ontology.NewBuilder("root")
+	ids := []ontology.ConceptID{0}
+	for i := 1; i < n; i++ {
+		c := b.AddConcept("c")
+		parent := ids[r.Intn(len(ids))]
+		b.MustAddEdge(parent, c)
+		// Occasionally add a second parent to exercise the DAG shape.
+		if r.Float64() < 0.2 && len(ids) > 2 {
+			p2 := ids[r.Intn(len(ids)-1)]
+			if p2 != parent {
+				_ = b.AddEdge(p2, c)
+			}
+		}
+		ids = append(ids, c)
+	}
+	return b.MustFinalize()
+}
+
+// measures returns every built-in measure over o.
+func measures(o *ontology.Ontology) []Measure {
+	return []Measure{Rada(), NewDensity(o), NewEnhanced(o)}
+}
+
+// TestMeasureContract property-tests the documented contract — symmetry,
+// identity, monotone level bound, bound-below-pair, and the unreachable
+// sentinel — for every built-in measure over random DAGs.
+func TestMeasureContract(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		o := randomDAG(r, 60+r.Intn(120))
+		n := o.NumConcepts()
+		for _, m := range measures(o) {
+			for i := 0; i < 200; i++ {
+				a := ontology.ConceptID(r.Intn(n))
+				b := ontology.ConceptID(r.Intn(n))
+				L := int32(r.Intn(40))
+				ab, ba := m.Pair(a, b, L), m.Pair(b, a, L)
+				if ab != ba {
+					t.Fatalf("%s: Pair(%d,%d,%d)=%v != Pair(%d,%d,%d)=%v",
+						m.Name(), a, b, L, ab, b, a, L, ba)
+				}
+				if ab < 0 {
+					t.Fatalf("%s: negative Pair(%d,%d,%d)=%v", m.Name(), a, b, L, ab)
+				}
+				// Level bound: LevelBound(l) <= Pair(a, b, L) for all L >= l.
+				l := float64(r.Intn(int(L) + 1))
+				if lb := m.LevelBound(l); lb > ab {
+					t.Fatalf("%s: LevelBound(%v)=%v > Pair(%d,%d,%d)=%v",
+						m.Name(), l, lb, a, b, L, ab)
+				}
+			}
+			// Identity at L = 0.
+			for i := 0; i < 20; i++ {
+				a := ontology.ConceptID(r.Intn(n))
+				if d := m.Pair(a, a, 0); d != 0 {
+					t.Fatalf("%s: Pair(%d,%d,0)=%v, want 0", m.Name(), a, a, d)
+				}
+			}
+			// LevelBound monotone, zero at zero, +Inf at +Inf.
+			if lb := m.LevelBound(0); lb != 0 {
+				t.Fatalf("%s: LevelBound(0)=%v", m.Name(), lb)
+			}
+			prev := 0.0
+			for l := 1.0; l <= 64; l *= 2 {
+				lb := m.LevelBound(l)
+				if lb < prev {
+					t.Fatalf("%s: LevelBound not monotone at %v: %v < %v", m.Name(), l, lb, prev)
+				}
+				prev = lb
+			}
+			if lb := m.LevelBound(math.Inf(1)); !math.IsInf(lb, 1) {
+				t.Fatalf("%s: LevelBound(+Inf)=%v", m.Name(), lb)
+			}
+			// Sentinel: pathLen >= Infinite means Unreachable.
+			a := ontology.ConceptID(r.Intn(n))
+			b := ontology.ConceptID(r.Intn(n))
+			if d := m.Pair(a, b, Infinite); d != Unreachable {
+				t.Fatalf("%s: Pair at Infinite = %v, want %v", m.Name(), d, Unreachable)
+			}
+		}
+	}
+}
+
+// TestRadaIsIdentity: the Rada instance is the identity measure — Pair is
+// the path length and LevelBound the level.
+func TestRadaIsIdentity(t *testing.T) {
+	m := Rada()
+	for L := int32(0); L < 100; L++ {
+		if d := m.Pair(1, 2, L); d != float64(L) {
+			t.Fatalf("Pair(_, _, %d) = %v", L, d)
+		}
+	}
+	for _, l := range []float64{0, 1, 2.5, 1e9} {
+		if lb := m.LevelBound(l); lb != l {
+			t.Fatalf("LevelBound(%v) = %v", l, lb)
+		}
+	}
+}
+
+// TestMeasureIDsDistinct: the three built-ins hash to three distinct cache
+// identities (the property seed-vector cache keys rely on).
+func TestMeasureIDsDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	o := randomDAG(r, 40)
+	ids := map[uint32]string{}
+	for _, m := range measures(o) {
+		id := ID(m)
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("measure ID collision: %s and %s both hash to %d", prev, m.Name(), id)
+		}
+		ids[id] = m.Name()
+	}
+}
+
+// TestDensityFactorsBounded: density factors respect the documented clamp,
+// so LevelBound stays a positive fraction of the level.
+func TestDensityFactorsBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	o := randomDAG(r, 200)
+	d := NewDensity(o)
+	for c, f := range d.f {
+		if f < densityFloor || f > densityCeil {
+			t.Fatalf("factor[%d] = %v outside [%v, %v]", c, f, densityFloor, densityCeil)
+		}
+	}
+	if d.minFactor < 1/densityCeil || d.minFactor > 1/densityFloor {
+		t.Fatalf("minFactor = %v", d.minFactor)
+	}
+}

@@ -1,0 +1,232 @@
+package conceptrank
+
+// Facade-level coverage of the pluggable-measure API and the consolidated
+// query surface: WithMeasure end to end, engine-level EnableCache reaching
+// the collapsed FullScan and MergedRDS entry points (a facade bug until
+// this release — fullScan never consulted the engine cache), per-measure
+// telemetry labels, and the redesigned HybridRDS.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFacadeMeasuresEndToEnd(t *testing.T) {
+	o, coll := smallSetup(t)
+	eng := NewEngine(o, coll)
+	q := coll.Doc(0).Concepts[:3]
+
+	ref, _, err := eng.RDS(q, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRada, _, err := eng.RDS(q, NewOptions(WithK(5), WithMeasure(RadaMeasure())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != viaRada[i] {
+			t.Fatalf("RadaMeasure diverges from default at rank %d: %v vs %v", i, viaRada[i], ref[i])
+		}
+	}
+	for _, m := range []DistanceMeasure{NewDensityMeasure(o), NewEnhancedMeasure(o)} {
+		res, _, err := eng.RDS(q, NewOptions(WithK(5), WithMeasure(m)))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(res) != 5 {
+			t.Fatalf("%s: %d results", m.Name(), len(res))
+		}
+		// Doc 0 contains every query concept: distance 0 under any measure.
+		if res[0].Doc != 0 || res[0].Distance != 0 {
+			t.Fatalf("%s: doc 0 should lead at distance 0: %v", m.Name(), res)
+		}
+		scan, _, err := eng.FullScanRDS(q, WithK(5), WithMeasure(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if res[i] != scan[i] {
+				t.Fatalf("%s: kNDS %v vs scan %v", m.Name(), res, scan)
+			}
+		}
+	}
+}
+
+// TestEngineCacheReachesFullScanAndMerged pins the EnableCache bugfix: an
+// engine-level cache must flow into the collapsed FullScan entry points
+// and MergedRDS exactly like it flows into RDS, with identical rankings
+// and observable cache traffic.
+func TestEngineCacheReachesFullScanAndMerged(t *testing.T) {
+	o, coll := smallSetup(t)
+	q := coll.Doc(0).Concepts[:3]
+	queries := [][]ConceptID{q[:2], q[1:]}
+	ctx := context.Background()
+
+	cold := NewEngine(o, coll)
+	refScan, _, err := cold.FullScanRDS(q, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMerged, _, err := cold.MergedRDS(ctx, queries, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(o, coll)
+	eng.EnableCache(NewCache(CacheConfig{}))
+	var sawTraffic bool
+	for pass := 0; pass < 2; pass++ {
+		scan, m, err := eng.FullScanRDS(q, WithK(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CacheHits+m.CacheMisses == 0 {
+			t.Fatalf("pass %d: FullScanRDS ignored the engine cache", pass)
+		}
+		if pass == 1 && m.CacheHits > 0 {
+			sawTraffic = true
+		}
+		for i := range refScan {
+			if scan[i] != refScan[i] {
+				t.Fatalf("cached scan diverges at rank %d: %v vs %v", i, scan[i], refScan[i])
+			}
+		}
+		merged, mm, err := eng.MergedRDS(ctx, queries, WithK(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm.CacheHits+mm.CacheMisses == 0 {
+			t.Fatalf("pass %d: MergedRDS ignored the engine cache", pass)
+		}
+		for i := range refMerged {
+			if merged[i] != refMerged[i] {
+				t.Fatalf("cached merged diverges at rank %d: %v vs %v", i, merged[i], refMerged[i])
+			}
+		}
+	}
+	if !sawTraffic {
+		t.Fatal("second scan produced no cache hits")
+	}
+	// An explicit WithCache still wins over the engine-level cache.
+	private := NewCache(CacheConfig{})
+	if _, m, err := eng.FullScanRDS(q, WithK(5), WithCache(private)); err != nil {
+		t.Fatal(err)
+	} else if m.CacheMisses == 0 {
+		t.Fatal("explicit WithCache did not override the warm engine cache")
+	}
+}
+
+// TestTelemetryPerMeasureLabels: queries under a non-default measure are
+// recorded under "<kind>_<measure>" so per-measure dashboards come free.
+// The slow log keeps the kind per entry; a 1ns threshold records all.
+func TestTelemetryPerMeasureLabels(t *testing.T) {
+	o, coll := smallSetup(t)
+	eng := NewEngine(o, coll)
+	sink := NewTelemetry(TelemetryConfig{SlowThreshold: time.Nanosecond})
+	eng.EnableTelemetry(sink)
+	q := coll.Doc(0).Concepts[:2]
+
+	if _, _, err := eng.RDS(q, Options{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.RDS(q, NewOptions(WithK(3), WithMeasure(NewDensityMeasure(o)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.FullScanRDS(q, WithK(3), WithMeasure(NewEnhancedMeasure(o))); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]bool{}
+	for _, e := range sink.Slow.Snapshot() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"rds", "rds_density", "scan_rds_enhanced"} {
+		if !kinds[want] {
+			t.Fatalf("telemetry kinds missing %q: %v", want, kinds)
+		}
+	}
+}
+
+// TestHybridRDSRedesign exercises the context+options HybridRDS: defaults,
+// fusion weight extremes, measure selection and the no-text-index
+// degradation.
+func TestHybridRDSRedesign(t *testing.T) {
+	o, coll := smallSetup(t)
+	eng := NewEngine(o, coll)
+	q := coll.Doc(0).Concepts[:2]
+	ctx := context.Background()
+
+	// No text index: pure semantic ranking, metrics from the scan.
+	res, m, err := eng.HybridRDS(ctx, q, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("default k: %d results", len(res))
+	}
+	if m == nil || m.DocsExamined == 0 {
+		t.Fatalf("metrics missing: %+v", m)
+	}
+	if res[0].BM25 != 0 {
+		t.Fatalf("no text index but BM25 signal present: %+v", res[0])
+	}
+	// Doc 0 contains the query concepts: top semantic similarity.
+	if res[0].Semantic != 1 {
+		t.Fatalf("top semantic should normalize to 1: %+v", res[0])
+	}
+
+	// Under a measure, with an explicit k.
+	res2, _, err := eng.HybridRDS(ctx, q, "",
+		WithHybridMeasure(NewDensityMeasure(o)), WithHybridK(4), WithFusionWeight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 4 || res2[0].Semantic != 1 {
+		t.Fatalf("measure hybrid: %+v", res2)
+	}
+
+	// The deprecated shim agrees with the new surface.
+	texts := make([]string, coll.NumDocs())
+	for i := range texts {
+		texts[i] = "note " + o.Name(q[0])
+	}
+	tix := BuildTextIndex(texts)
+	newRes, _, err := eng.HybridRDS(ctx, q, o.Name(q[0]),
+		WithTextIndex(tix), WithFusionWeight(0.7), WithHybridK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRes, err := eng.HybridRDSAlpha(q, o.Name(q[0]), tix, 0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newRes) != len(oldRes) {
+		t.Fatalf("shim: %d vs %d", len(oldRes), len(newRes))
+	}
+	for i := range newRes {
+		if newRes[i] != oldRes[i] {
+			t.Fatalf("shim diverges at %d: %+v vs %+v", i, oldRes[i], newRes[i])
+		}
+	}
+
+	// MergedRDSTopK shim agrees with MergedRDS.
+	queries := [][]ConceptID{q[:1], q[1:]}
+	mNew, _, err := eng.MergedRDS(ctx, queries, WithK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOld, err := eng.MergedRDSTopK(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mNew) != len(mOld) {
+		t.Fatalf("merged shim: %d vs %d", len(mOld), len(mNew))
+	}
+	for i := range mNew {
+		if mNew[i] != mOld[i] {
+			t.Fatalf("merged shim diverges at %d: %+v vs %+v", i, mOld[i], mNew[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package conceptrank
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -57,7 +58,7 @@ func TestFacadeQueryExpansion(t *testing.T) {
 	for _, e := range exps {
 		queries = append(queries, []ConceptID{e.Concept})
 	}
-	merged, err := eng.MergedRDS(queries, 5)
+	merged, _, err := eng.MergedRDS(context.Background(), queries, WithK(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,8 @@ func TestHybridRDSEndToEnd(t *testing.T) {
 	q := []ConceptID{c}
 	text := o.Name(c)
 
-	pureSem, err := eng.HybridRDS(q, text, tix, 1, 10)
+	pureSem, _, err := eng.HybridRDS(context.Background(), q, text,
+		WithTextIndex(tix), WithFusionWeight(1), WithHybridK(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,8 @@ func TestHybridRDSEndToEnd(t *testing.T) {
 	if !found {
 		t.Fatalf("target doc %d missing from pure semantic top-10: %+v", target, pureSem)
 	}
-	pureText, err := eng.HybridRDS(q, text, tix, 0, 10)
+	pureText, _, err := eng.HybridRDS(context.Background(), q, text,
+		WithTextIndex(tix), WithFusionWeight(0), WithHybridK(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,22 +243,15 @@ func TestFacadeWeightedDistances(t *testing.T) {
 	d2 := coll.Doc(1).Concepts[:5]
 
 	plain := DocDocDistance(o, d1, d2)
-	unit, err := DocDocDistanceWeighted(o, d1, d2, func(ConceptID) float64 { return 1 })
-	if err != nil {
-		t.Fatal(err)
-	}
+	unit := DocDocDistanceWeighted(o, d1, d2, func(ConceptID) float64 { return 1 })
 	if math.Abs(plain-unit) > 1e-9 {
 		t.Fatalf("unit weights diverge: %v vs %v", unit, plain)
 	}
-	icWeighted, err := DocDocDistanceWeighted(o, d1, d2, ic.IC)
-	if err != nil {
-		t.Fatal(err)
-	}
+	icWeighted := DocDocDistanceWeighted(o, d1, d2, ic.IC)
 	if icWeighted < 0 {
 		t.Fatalf("IC-weighted distance negative: %v", icWeighted)
 	}
-	self, err := DocDocDistanceWeighted(o, d1, d1, ic.IC)
-	if err != nil || self != 0 {
-		t.Fatalf("weighted self distance = %v, %v", self, err)
+	if self := DocDocDistanceWeighted(o, d1, d1, ic.IC); self != 0 {
+		t.Fatalf("weighted self distance = %v", self)
 	}
 }
