@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs bench-measures experiments serve-demo api-check api-snapshot
+.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs bench-measures bench-memstats experiments serve-demo api-check api-snapshot
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,13 @@ bench-cache:
 bench-pairs:
 	$(GO) run ./cmd/crbench -scale small -exp pairs
 	$(GO) test -run=NONE -bench=BenchmarkTopKPairs -benchtime=10x ./internal/core/
+
+# Resource attribution: allocations/query, objects/query and GC pause per
+# execution tier (serial/parallel/sharded x cold/warm cache), plus the
+# per-stage allocation table via the StageAllocs sampler (EXPERIMENTS.md,
+# "Resource attribution").
+bench-memstats:
+	$(GO) run ./cmd/crbench -scale small -exp memstats
 
 # Pluggable-measure sweep: overlap@k against the Rada default and per-query
 # cost for each built-in DistanceMeasure, with the generic-pipeline Rada

@@ -1,6 +1,6 @@
 // Command crserve runs a kNDS query server with live introspection: a
 // /search endpoint next to the full telemetry surface (/metrics,
-// /debug/vars, /debug/slowlog, /debug/pprof/*). It serves either a data
+// /debug/vars, /debug/slowlog, /debug/runtime, /debug/pprof/*). It serves either a data
 // directory written by crgen or, with no -data, a self-contained synthetic
 // ontology + corpus — handy for demos and for watching the metrics move:
 //
@@ -77,6 +77,8 @@ func main() {
 		slowMS    = flag.Int("slow", 25, "slow-log latency threshold in milliseconds (0 = log every query)")
 		cacheMB   = flag.Int("cache-mb", 0, "semantic-distance cache budget in MiB (0 = caching off)")
 		demo      = flag.Duration("demo", 0, "fire a random background query this often (0 = off)")
+		runtimeIv = flag.Duration("runtime-sample", 5*time.Second, "runtime/GC sampler cadence for /debug/runtime (0 = default 5s)")
+		profSlow  = flag.Bool("profile-slow", false, "capture rate-limited pprof CPU/heap snapshots for slow queries")
 	)
 	flag.Parse()
 
@@ -88,7 +90,12 @@ func main() {
 	if *slowMS <= 0 {
 		slowThreshold = time.Nanosecond // Config treats 0 as "use the default"
 	}
-	tel := conceptrank.NewTelemetry(conceptrank.TelemetryConfig{SlowThreshold: slowThreshold})
+	tel := conceptrank.NewTelemetry(conceptrank.TelemetryConfig{
+		SlowThreshold:   slowThreshold,
+		CaptureProfiles: *profSlow,
+	})
+	stopRuntime := tel.AttachRuntime(*runtimeIv)
+	defer stopRuntime()
 	var cc *conceptrank.Cache
 	if *cacheMB > 0 {
 		cc = conceptrank.NewCache(conceptrank.CacheConfig{MaxBytes: int64(*cacheMB) << 20})

@@ -57,7 +57,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 
 	"conceptrank/internal/cache"
@@ -107,6 +106,14 @@ type (
 	PairMetrics = core.PairMetrics
 	// Metrics reports where a query spent its time.
 	Metrics = core.Metrics
+	// Stage identifies one pipeline stage for resource attribution
+	// (StagePlan .. StageMerge); Metrics.Stages is indexed by it.
+	Stage = core.Stage
+	// StageStat is one stage's resource account within one query: wall
+	// time always, allocation deltas when the query ran WithStageAllocs.
+	StageStat = core.StageStat
+	// StageStats is a query's per-stage breakdown (Metrics.Stages).
+	StageStats = core.StageStats
 	// Options configures a kNDS query (k, error threshold, queue limit,
 	// intra-query Workers — see the Parallel execution section of
 	// DESIGN.md; results are identical at every Workers setting).
@@ -223,6 +230,27 @@ func WithCache(c *Cache) Option { return core.WithCache(c) }
 // its DRC fast path. Telemetry labels queries per measure (e.g. an RDS
 // query under the density measure records as "rds_density").
 func WithMeasure(m DistanceMeasure) Option { return core.WithMeasure(m) }
+
+// WithStageAllocs opts one query into per-stage heap-allocation sampling
+// (Options.StageAllocs): Metrics.Stages then carries allocation deltas
+// next to the always-on stage wall times. The deltas are process-wide
+// allocation counters sampled at stage boundaries (~1µs per boundary), so
+// attribute on an otherwise idle process for exact numbers.
+func WithStageAllocs() Option { return core.WithStageAllocs() }
+
+// Pipeline stages of the per-query resource attribution (Metrics.Stages),
+// re-exported from the engine.
+const (
+	StagePlan    = core.StagePlan
+	StageSeed    = core.StageSeed
+	StageWave    = core.StageWave
+	StageBound   = core.StageBound
+	StageExam    = core.StageExam
+	StageCollect = core.StageCollect
+	StageMerge   = core.StageMerge
+	// NumStages is the length of Metrics.Stages.
+	NumStages = core.NumStages
+)
 
 // Span event kinds a Trace hook can observe, re-exported from the engine.
 const (
@@ -680,11 +708,6 @@ func (e *Engine) BatchSDSContext(ctx context.Context, queryDocs [][]ConceptID, o
 // and WithWorkers > 1 partitions the scan across a worker pool with
 // results identical to the serial scan; other options are ignored — the
 // baseline has no traversal to tune.
-//
-// This replaces the former FullScanRDS(query, k) / FullScanRDSParallel
-// (query, k, workers) pair: FullScanRDS(q, 5) becomes
-// FullScanRDS(q, WithK(5)), and FullScanRDSParallel(q, 5, 8) becomes
-// FullScanRDS(q, WithK(5), WithWorkers(8)).
 func (e *Engine) FullScanRDS(query []ConceptID, opts ...Option) ([]Result, *Metrics, error) {
 	return e.fullScan(false, query, opts)
 }
@@ -719,30 +742,6 @@ func (e *Engine) fullScan(sds bool, query []ConceptID, opts []Option) ([]Result,
 		done(m, err)
 	}
 	return res, m, err
-}
-
-// FullScanRDSParallel is FullScanRDS with the scan partitioned across
-// workers (<= 0 selects GOMAXPROCS).
-//
-// Deprecated: use FullScanRDS with WithK and WithWorkers. This shim will
-// be removed after one release.
-func (e *Engine) FullScanRDSParallel(query []ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return e.FullScanRDS(query, WithK(k), WithWorkers(workers))
-}
-
-// FullScanSDSParallel is the partitioned full-scan baseline for
-// similarity queries.
-//
-// Deprecated: use FullScanSDS with WithK and WithWorkers. This shim will
-// be removed after one release.
-func (e *Engine) FullScanSDSParallel(queryDoc []ConceptID, k, workers int) ([]Result, *Metrics, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return e.FullScanSDS(queryDoc, WithK(k), WithWorkers(workers))
 }
 
 // SaveOntology writes o to path in the checksummed binary format.

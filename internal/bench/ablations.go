@@ -245,6 +245,11 @@ func All(env *Env) ([]*Table, error) {
 		}
 		out = append(out, tbl)
 	}
+	mt, err := MemStats(env)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mt...)
 	ct, err := CacheSweep(env)
 	if err != nil {
 		return nil, err
@@ -256,7 +261,7 @@ func All(env *Env) ([]*Table, error) {
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
 	"dedup", "queue", "skip", "store", "ta", "parallel", "shard",
-	"telemetry", "cursor", "cache", "pairs", "measures", "all",
+	"telemetry", "cursor", "cache", "pairs", "measures", "memstats", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -322,6 +327,8 @@ func Run(env *Env, name string) ([]*Table, error) {
 	case "measures":
 		t, err := MeasureSweep(env)
 		return []*Table{t}, err
+	case "memstats":
+		return MemStats(env)
 	case "all", "":
 		return All(env)
 	}

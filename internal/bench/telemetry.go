@@ -11,17 +11,20 @@ import (
 	"conceptrank/internal/telemetry"
 )
 
-// TelemetryOverhead measures query tracing at its three operating points:
+// TelemetryOverhead measures query observability at its operating points:
 // tracing disabled (the nil-gated fast path every production query takes by
-// default), a minimal counting hook (the cost of emitting span events), and
-// the full telemetry sink (event recording + histogram observation +
-// slow-log bookkeeping). Reported as p50/p95 per-query wall latency and
-// percent p50 overhead against the disabled configuration. The workload is
-// warmed once untimed so all three configurations run against hot caches.
+// default), a minimal counting hook (the cost of emitting span events), the
+// full telemetry sink (event recording + histogram observation + slow-log
+// bookkeeping — which now includes the always-on per-stage wall-time
+// attribution), and the sink plus the opt-in per-stage allocation sampler
+// (StageAllocs, two runtime/metrics reads per stage boundary). Reported as
+// p50/p95 per-query wall latency and percent p50 overhead against the
+// disabled configuration. The workload is warmed once untimed so all
+// configurations run against hot caches.
 func TelemetryOverhead(env *Env) (*Table, error) {
 	t := &Table{
 		ID:     "telemetry",
-		Title:  "Tracing overhead (RDS, defaults): off vs counting hook vs full sink",
+		Title:  "Observability overhead (RDS, defaults): off / counting hook / full sink / sink + alloc sampler",
 		Header: []string{"dataset", "config", "p50 ms", "p95 ms", "p50 overhead"},
 	}
 	// The control is a second, independently timed run of the exact
@@ -29,7 +32,7 @@ func TelemetryOverhead(env *Env) (*Table, error) {
 	// floor of the harness, the yardstick for the disabled-path claim
 	// (a nil Options.Trace must be indistinguishable from no tracing).
 	control := telemetryConfig{name: "off (control)", prep: configOff.prep}
-	configs := []telemetryConfig{configOff, control, configHook, configSink}
+	configs := []telemetryConfig{configOff, control, configHook, configSink, configSinkAllocs}
 	for _, ds := range env.Datasets() {
 		r := rand.New(rand.NewSource(41))
 		queries := ds.RandomQueries(r, env.Scale.RankQueries, DefaultNq)
@@ -91,6 +94,9 @@ const telemetryReps = 5
 type telemetryConfig struct {
 	name string
 	prep func(kind string) (core.TraceFunc, func(*core.Metrics, error))
+	// stageAllocs additionally turns on the per-stage allocation sampler
+	// (Options.StageAllocs), the most expensive observability option.
+	stageAllocs bool
 }
 
 var (
@@ -111,6 +117,13 @@ var (
 			return s.Query(kind, nil)
 		}}
 	}()
+	configSinkAllocs = func() telemetryConfig {
+		s := telemetry.New(telemetry.Config{})
+		return telemetryConfig{name: "sink+allocs", stageAllocs: true,
+			prep: func(kind string) (core.TraceFunc, func(*core.Metrics, error)) {
+				return s.Query(kind, nil)
+			}}
+	}()
 )
 
 func telemetryWarmup(ds *Dataset, queries [][]ontology.ConceptID) error {
@@ -126,7 +139,7 @@ func telemetryWarmup(ds *Dataset, queries [][]ontology.ConceptID) error {
 // and returns its wall latency (including the sink's completion work,
 // which a production query also pays).
 func telemetryQuery(ds *Dataset, q []ontology.ConceptID, cfg telemetryConfig) (time.Duration, error) {
-	opts := core.Options{K: DefaultK, ErrorThreshold: ds.DefaultEps, Workers: QueryWorkers}
+	opts := core.Options{K: DefaultK, ErrorThreshold: ds.DefaultEps, Workers: QueryWorkers, StageAllocs: cfg.stageAllocs}
 	trace, done := cfg.prep("bench_rds")
 	opts.Trace = trace
 	start := time.Now()

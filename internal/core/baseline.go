@@ -96,7 +96,8 @@ func (e *Engine) fullScan(ctx context.Context, sds bool, rawQuery []ontology.Con
 	var prep *drc.Prepared
 	var bl *distance.BL
 	var mvecs [][]int32
-	t0 := time.Now()
+	smp := newStageSampler(opts.StageAllocs)
+	mk := smp.mark()
 	switch {
 	case opts.Measure != nil:
 		mvecs = make([][]int32, len(q))
@@ -108,11 +109,12 @@ func (e *Engine) fullScan(ctx context.Context, sds bool, rawQuery []ontology.Con
 	default:
 		prep = drc.PrepareCached(e.o, q, 0, e.addrCache)
 	}
-	m.DistanceTime += time.Since(t0)
+	m.DistanceTime += smp.record(m, StagePlan, mk)
 
 	n := e.numDocs()
 	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
 	hk := newTopK(k)
+	mk = smp.mark()
 	for d := corpus.DocID(0); int(d) < n; d++ {
 		if d%scanCancelStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -149,9 +151,12 @@ func (e *Engine) fullScan(ctx context.Context, sds bool, rawQuery []ontology.Con
 		tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: d, Value: dist, N: 1})
 		hk.offer(Result{Doc: d, Distance: dist})
 	}
+	smp.record(m, StageExam, mk)
 	tr.emit(TraceEvent{Kind: TraceWaveEnd, N: m.DocsExamined})
+	mk = smp.mark()
 	results := hk.sorted()
 	m.ResultCount = len(results)
+	smp.record(m, StageCollect, mk)
 	tr.emit(TraceEvent{Kind: TraceTerminate, Value: 0, N: len(results)})
 	return results, m, nil
 }
@@ -182,7 +187,8 @@ func (e *Engine) fullScanSeeded(ctx context.Context, rawQuery []ontology.Concept
 
 	// Resolve the per-origin vectors (hit / refresh / build, like the kNDS
 	// plan stage) and fold them into a dense per-document accumulator.
-	t0 := time.Now()
+	smp := newStageSampler(opts.StageAllocs)
+	mk := smp.mark()
 	var dists []float64 // complete per-document distance
 	if opts.Measure == nil {
 		acc := make([]int64, n)
@@ -234,10 +240,11 @@ func (e *Engine) fullScanSeeded(ctx context.Context, rawQuery []ontology.Concept
 			dists[d] = sum
 		}
 	}
-	m.DistanceTime += time.Since(t0)
+	m.DistanceTime += smp.record(m, StageSeed, mk)
 
 	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
 	hk := newTopK(k)
+	mk = smp.mark()
 	for d := corpus.DocID(0); int(d) < n; d++ {
 		if d%scanCancelStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -255,9 +262,12 @@ func (e *Engine) fullScanSeeded(ctx context.Context, rawQuery []ontology.Concept
 		tr.emit(TraceEvent{Kind: TraceDRCProbe, Doc: d, Value: dists[d], N: 0})
 		hk.offer(Result{Doc: d, Distance: dists[d]})
 	}
+	smp.record(m, StageExam, mk)
 	tr.emit(TraceEvent{Kind: TraceWaveEnd, N: m.DocsExamined})
+	mk = smp.mark()
 	results := hk.sorted()
 	m.ResultCount = len(results)
+	smp.record(m, StageCollect, mk)
 	tr.emit(TraceEvent{Kind: TraceTerminate, Value: 0, N: len(results)})
 	return results, m, nil
 }

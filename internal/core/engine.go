@@ -147,6 +147,15 @@ type Options struct {
 	// the nearest *path*, not necessarily the smallest measure value, so
 	// exact distances are always recomputed at examination.
 	Measure measure.Measure
+	// StageAllocs enables heap-allocation sampling at every pipeline stage
+	// boundary: Metrics.Stages gains per-stage AllocBytes/AllocObjects
+	// deltas read from the runtime's cumulative allocation counters. The
+	// counters are process-wide, so concurrent queries bleed into each
+	// other's deltas — enable it on a quiet process (or a benchmark) for
+	// exact attribution. Off by default: each boundary read costs about a
+	// microsecond, which the default observation-only accounting avoids.
+	// Stage *times* are always recorded; see Metrics.Stages.
+	StageAllocs bool
 	// Trace, when non-nil, receives typed span events (see TraceKind) with
 	// monotonic timestamps: WaveStart/WaveEnd around each BFS depth level,
 	// DRCProbe per exact-distance examination, ForcedExam on queue-limit
@@ -230,6 +239,14 @@ type Metrics struct {
 	// All other counters are identical at every Workers setting — the
 	// parallel engine commits exactly the serial decision sequence.
 	SpeculativeDRC int
+
+	// Stages is the per-stage resource breakdown: wall time per pipeline
+	// stage (plan, seed, wave, bound, exam, collect, merge) for every
+	// query, plus heap-allocation deltas when the query ran with
+	// Options.StageAllocs. Stage times are recorded from the same clock
+	// readings as the component times above, so attribution costs a few
+	// additions per wave; full scans report everything under StageExam.
+	Stages StageStats
 
 	// TerminalEps is ε_d at termination: 1 - kth/d⁻, the Eq. 9 error form
 	// applied to the whole query at its stopping point. 0 means no slack

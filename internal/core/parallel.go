@@ -195,7 +195,8 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 	if k <= 0 {
 		k = 10
 	}
-	t0 := time.Now()
+	smp := newStageSampler(opts.StageAllocs)
+	mk := smp.mark()
 	var prep *drc.Prepared
 	var mvecs [][]int32
 	if opts.Measure != nil {
@@ -206,7 +207,7 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 	} else {
 		prep = drc.PrepareCached(e.o, q, 0, e.addrCache)
 	}
-	m.DistanceTime += time.Since(t0)
+	m.DistanceTime += smp.record(m, StagePlan, mk)
 
 	n := e.numDocs()
 	if workers > n {
@@ -223,6 +224,7 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 	}
 	chunks := make([]chunkResult, workers)
 	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
+	mk = smp.mark()
 	g, gctx := pool.GroupWithContext(ctx)
 	for w := 0; w < workers; w++ {
 		w := w
@@ -269,6 +271,8 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 	if err := g.Wait(); err != nil {
 		return nil, m, err
 	}
+	smp.record(m, StageExam, mk)
+	mk = smp.mark()
 	var all []Result
 	for i := range chunks {
 		all = append(all, chunks[i].items...)
@@ -281,6 +285,7 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 		all = all[:k]
 	}
 	m.ResultCount = len(all)
+	smp.record(m, StageCollect, mk)
 	tr.emit(TraceEvent{Kind: TraceWaveEnd, N: m.DocsExamined})
 	tr.emit(TraceEvent{Kind: TraceTerminate, Value: 0, N: len(all)})
 	return all, m, nil

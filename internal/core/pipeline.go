@@ -523,6 +523,7 @@ type executor struct {
 	p    *queryPlan
 	m    *Metrics
 	tr   tracer
+	smp  stageSampler
 	step *waveStepper
 	bt   *boundTable
 	coll *collector
@@ -544,7 +545,10 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 	m := &Metrics{}
 	defer e.beginQuery(m)()
 	tr := newTracer(opts.Trace)
+	smp := newStageSampler(opts.StageAllocs)
+	mk := smp.mark()
 	p, err := e.plan(sds, rawQuery, opts, m)
+	smp.record(m, StagePlan, mk)
 	if err != nil {
 		return nil, m, err
 	}
@@ -558,23 +562,25 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 	// which is exactly what its BFS would have found).
 	var seeds [][]cache.DocDist
 	var mseeds [][]cache.DocFDist
+	mk = smp.mark()
 	if p.meas == nil {
 		seeds, err = e.loadSeeds(p, &tr, m)
 	} else {
 		mseeds, err = e.loadMeasureSeeds(p, &tr, m)
-		if err == nil && mseeds == nil {
-			// No cache (or SDS): examinations need the per-origin valid-path
-			// vectors to evaluate the measure exactly.
-			t0 := time.Now()
-			p.mvecs = make([][]int32, len(p.q))
-			for i, c := range p.q {
-				p.mvecs[i] = validPathDistances(e.o, c)
-			}
-			m.DistanceTime += time.Since(t0)
-		}
 	}
+	smp.record(m, StageSeed, mk)
 	if err != nil {
 		return nil, m, err
+	}
+	if p.meas != nil && mseeds == nil {
+		// No cache (or SDS): examinations need the per-origin valid-path
+		// vectors to evaluate the measure exactly.
+		mk = smp.mark()
+		p.mvecs = make([][]int32, len(p.q))
+		for i, c := range p.q {
+			p.mvecs[i] = validPathDistances(e.o, c)
+		}
+		m.DistanceTime += smp.record(m, StagePlan, mk)
 	}
 	var seeded []bool
 	if seeds != nil || mseeds != nil {
@@ -588,6 +594,7 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 		p:    p,
 		m:    m,
 		tr:   tr,
+		smp:  smp,
 		step: newWaveStepper(e.o, p.q, opts.DedupVisits, seeded),
 		bt:   newBoundTable(sds, p.nq, p.meas, p.q),
 		coll: newCollector(opts.K),
@@ -600,19 +607,19 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 		lastDMinus: math.Inf(1),
 	}
 	if seeds != nil {
-		t0 := time.Now()
+		mk = smp.mark()
 		for i, docs := range seeds {
 			x.bt.injectSeed(int32(i), docs, p.totalDocs, m)
 		}
-		m.TraversalTime += time.Since(t0)
+		m.TraversalTime += x.smp.record(m, StageSeed, mk)
 	}
 	if mseeds != nil {
-		t0 := time.Now()
+		mk = smp.mark()
 		for i, docs := range mseeds {
 			x.bt.injectMeasureSeed(int32(i), docs, p.totalDocs, m)
 		}
 		p.mseeded = true
-		m.TraversalTime += time.Since(t0)
+		m.TraversalTime += x.smp.record(m, StageSeed, mk)
 	}
 	return x, m, nil
 }
@@ -672,9 +679,9 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 	floor := x.p.floorOf(bound)
 
 	// --- Bound stage: refresh candidate bounds in commit order.
-	t1 := time.Now()
+	mk := x.smp.mark()
 	cands := x.bt.candidates(floor)
-	x.m.TraversalTime += time.Since(t1)
+	x.m.TraversalTime += x.smp.record(x.m, StageBound, mk)
 
 	// Speculative parallel examination: prefetch exact distances for the
 	// candidate prefix the serial commit loop below could examine this
@@ -682,6 +689,7 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 	// superset of the serial choice; see DESIGN.md). The commit loop is
 	// byte-for-byte the serial decision sequence, so results, pruning and
 	// counters are identical at every Workers setting.
+	mk = x.smp.mark()
 	x.spec.prefetch(cands, x.coll.hk, bound, forced)
 
 	// --- Examination stage: the serial commit loop.
@@ -716,8 +724,10 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 			return false, err
 		}
 	}
+	x.smp.record(x.m, StageExam, mk)
 
 	// --- Collect stage: termination floor, early output (optimization 4).
+	mk = x.smp.mark()
 	dMinus := x.bt.undiscoveredLB(floor, x.p.totalDocs)
 	for _, doc := range x.bt.live {
 		st := x.bt.states[doc]
@@ -736,6 +746,7 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 	if x.p.opts.OnBound != nil {
 		x.p.opts.OnBound(dMinus)
 	}
+	x.smp.record(x.m, StageCollect, mk)
 	x.wave++
 	// Strict comparison: at dMinus == kth an outstanding candidate (or
 	// an undiscovered document) could still reach exactly the k-th
@@ -755,7 +766,7 @@ func (x *executor) stepWave(ctx context.Context) (bool, error) {
 // queue limit forces an examination), feeding document contacts to the
 // bound table and neighbor states back to the stepper.
 func (x *executor) traverse(forced *bool) error {
-	t0 := time.Now()
+	mk := x.smp.mark()
 	waveDepth := x.step.nextDepth()
 	var waveVisited []VisitedNode
 	popBase := x.m.NodesVisited
@@ -797,7 +808,7 @@ func (x *executor) traverse(forced *bool) error {
 		x.p.opts.OnWave(info)
 	}
 	x.step.reclaim()
-	x.m.TraversalTime += time.Since(t0)
+	x.m.TraversalTime += x.smp.record(x.m, StageWave, mk)
 	return nil
 }
 
@@ -871,6 +882,7 @@ func (x *executor) examine(doc corpus.DocID, st *docState) error {
 // terminal metrics, the Terminate trace event and the final progressive
 // flush.
 func (x *executor) finish() {
+	mk := x.smp.mark()
 	x.results = x.coll.hk.sorted()
 	x.m.ResultCount = len(x.results)
 	x.m.TerminalEps = terminalEps(x.coll.hk.kth(), x.lastDMinus)
@@ -878,6 +890,7 @@ func (x *executor) finish() {
 	if x.p.opts.Progressive != nil {
 		x.coll.flushFinal(x.results, x.p.opts.Progressive)
 	}
+	x.smp.record(x.m, StageCollect, mk)
 	x.done = true
 }
 

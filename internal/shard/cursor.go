@@ -38,8 +38,9 @@ type Cursor struct {
 
 	results []core.Result
 	sm      *Metrics
-	start   time.Time     // open time: the At reference for dispatch/merge events
-	elapsed time.Duration // accumulated segment wall-clock → Merged.TotalTime
+	start     time.Time     // open time: the At reference for dispatch/merge events
+	elapsed   time.Duration // accumulated segment wall-clock → Merged.TotalTime
+	mergeTime time.Duration // accumulated cross-shard merge time → Merged.Stages[StageMerge]
 
 	curs []*core.Cursor // nil for empty shards
 
@@ -307,11 +308,17 @@ func (c *Cursor) runTo(ctx context.Context, target int) error {
 		return err
 	}
 
+	mergeStart := time.Now()
 	c.results = c.merger.Sorted()
 	merged := core.Metrics{}
 	for i := range c.sm.PerShard {
 		mergeMetrics(&merged, &c.sm.PerShard[i])
 	}
+	// The cross-shard merge is the one stage shards cannot see; attribute
+	// it here — accumulated across segments like elapsed, because merged
+	// is rebuilt from the per-shard metrics on every segment.
+	c.mergeTime += time.Since(mergeStart)
+	merged.Stages[core.StageMerge].Time += c.mergeTime
 	c.segMu.Lock()
 	cancelled := c.pausedTotal
 	c.segMu.Unlock()

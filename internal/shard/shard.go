@@ -267,6 +267,7 @@ func mergeMetrics(dst, src *core.Metrics) {
 	dst.CacheHits += src.CacheHits
 	dst.CacheMisses += src.CacheMisses
 	dst.SpeculativeDRC += src.SpeculativeDRC
+	core.MergeStages(&dst.Stages, &src.Stages)
 	if src.TerminalEps > dst.TerminalEps {
 		dst.TerminalEps = src.TerminalEps
 	}

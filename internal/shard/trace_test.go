@@ -128,6 +128,15 @@ func TestMergeMetricsCoversAllFields(t *testing.T) {
 			f.SetInt(int64(i) + 1)
 		case reflect.Float64:
 			f.SetFloat(float64(i) + 0.5)
+		case reflect.Array:
+			// Metrics.Stages: populate every stage's every field, so the
+			// merge rule must carry the whole breakdown, not just one cell.
+			for j := 0; j < f.Len(); j++ {
+				el := f.Index(j)
+				for k := 0; k < el.NumField(); k++ {
+					el.Field(k).SetInt(int64(i+j+k) + 1)
+				}
+			}
 		default:
 			t.Fatalf("core.Metrics field %s has kind %v: teach this test how to populate it",
 				sv.Type().Field(i).Name, f.Kind())
@@ -161,5 +170,13 @@ func TestMergeMetricsCoversAllFields(t *testing.T) {
 	}
 	if dst.TerminalEps != src.TerminalEps {
 		t.Errorf("TerminalEps after merging a smaller value = %v, want max %v", dst.TerminalEps, src.TerminalEps)
+	}
+	for i := range dst.Stages {
+		if dst.Stages[i].Time != 2*src.Stages[i].Time ||
+			dst.Stages[i].AllocBytes != 2*src.Stages[i].AllocBytes ||
+			dst.Stages[i].AllocObjects != 2*src.Stages[i].AllocObjects {
+			t.Errorf("Stages[%v] after two merges = %+v, want double %+v",
+				core.Stage(i), dst.Stages[i], src.Stages[i])
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// profileCPUDuration is how long a slow-query CPU profile runs. Long
+// enough to catch the workload that made the query slow (slow queries
+// cluster), short enough that capture cost stays negligible against the
+// ProfileInterval rate limit.
+const profileCPUDuration = 250 * time.Millisecond
+
+// ProfileCapture is a pprof snapshot attached to a slow-log entry. The
+// capture runs asynchronously after the entry is recorded, so readers may
+// observe it before it completes; all access is mutex-guarded and the
+// JSON form reports completion state. The raw pprof bytes are not inlined
+// in /debug/slowlog (they are binary and can be large) — fetch them from
+// /debug/slowlog/profile?seq=N&kind=heap|cpu, as the JSON form spells
+// out.
+type ProfileCapture struct {
+	mu        sync.Mutex
+	seq       int64
+	startedAt time.Time
+	done      bool
+	heap      []byte // gzipped pprof heap snapshot
+	cpu       []byte // gzipped pprof CPU profile; empty when capture failed
+	errs      []string
+}
+
+// Seq returns the capture's process-unique sequence number.
+func (p *ProfileCapture) Seq() int64 { return p.seq }
+
+// Done reports whether the asynchronous capture has finished.
+func (p *ProfileCapture) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// Bytes returns the raw pprof bytes for kind "heap" or "cpu", or nil when
+// the capture has not (yet) produced them.
+func (p *ProfileCapture) Bytes(kind string) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch kind {
+	case "heap":
+		return p.heap
+	case "cpu":
+		return p.cpu
+	}
+	return nil
+}
+
+// MarshalJSON renders capture metadata — sizes and retrieval URLs, never
+// the raw bytes.
+func (p *ProfileCapture) MarshalJSON() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"seq":%d,"started_at":%q,"done":%v,"heap_bytes":%d,"cpu_bytes":%d`,
+		p.seq, p.startedAt.Format(time.RFC3339Nano), p.done, len(p.heap), len(p.cpu))
+	if len(p.heap) > 0 {
+		fmt.Fprintf(&b, `,"heap_url":"/debug/slowlog/profile?seq=%d&kind=heap"`, p.seq)
+	}
+	if len(p.cpu) > 0 {
+		fmt.Fprintf(&b, `,"cpu_url":"/debug/slowlog/profile?seq=%d&kind=cpu"`, p.seq)
+	}
+	for i, e := range p.errs {
+		if i == 0 {
+			b.WriteString(`,"errors":[`)
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", e)
+	}
+	if len(p.errs) > 0 {
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// maybeCaptureProfile starts an asynchronous pprof capture for a slow-log
+// entry if profiling is enabled and the rate limit allows it; it returns
+// the capture to attach to the entry, or nil. The rate limit is claimed
+// with a CAS so concurrent slow queries race for at most one capture.
+func (s *Sink) maybeCaptureProfile(now time.Time) *ProfileCapture {
+	if !s.captureProfiles {
+		return nil
+	}
+	last := s.lastCapture.Load()
+	if now.UnixNano()-last < int64(s.profileInterval) {
+		return nil
+	}
+	if !s.lastCapture.CompareAndSwap(last, now.UnixNano()) {
+		return nil // another slow query claimed this capture slot
+	}
+	pc := &ProfileCapture{seq: s.profileSeq.Add(1), startedAt: now}
+	go pc.run()
+	return pc
+}
+
+// run performs the capture: a heap snapshot (cheap, point-in-time), then
+// a short CPU profile. StartCPUProfile fails when another CPU profile is
+// already running (e.g. a concurrent /debug/pprof/profile scrape); the
+// heap snapshot still lands and the error is reported in the JSON form.
+func (p *ProfileCapture) run() {
+	var heap bytes.Buffer
+	var heapErr, cpuErr error
+	if prof := pprof.Lookup("heap"); prof != nil {
+		heapErr = prof.WriteTo(&heap, 0)
+	} else {
+		heapErr = fmt.Errorf("heap profile unavailable")
+	}
+
+	var cpu bytes.Buffer
+	if cpuErr = pprof.StartCPUProfile(&cpu); cpuErr == nil {
+		time.Sleep(profileCPUDuration)
+		pprof.StopCPUProfile()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if heapErr != nil {
+		p.errs = append(p.errs, "heap: "+heapErr.Error())
+	} else {
+		p.heap = heap.Bytes()
+	}
+	if cpuErr != nil {
+		p.errs = append(p.errs, "cpu: "+cpuErr.Error())
+	} else {
+		p.cpu = cpu.Bytes()
+	}
+	p.done = true
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func waitDone(t *testing.T, pc *ProfileCapture) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !pc.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("profile capture never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSlowQueryProfileCapture: with CaptureProfiles on, a slow query's
+// entry gets an asynchronous heap+CPU capture, the rate limit suppresses
+// an immediate second capture, and the raw bytes come back from
+// /debug/slowlog/profile.
+func TestSlowQueryProfileCapture(t *testing.T) {
+	s := New(Config{
+		SlowThreshold:   time.Nanosecond, // everything is slow
+		SlowCapacity:    4,
+		CaptureProfiles: true,
+		ProfileInterval: time.Hour,
+	})
+	fakeQuery(s, "rds", time.Millisecond, nil, 2)
+	fakeQuery(s, "rds", time.Millisecond, nil, 2) // rate-limited: no capture
+
+	entries := s.Slow.Snapshot() // newest first
+	if len(entries) != 2 {
+		t.Fatalf("slowlog entries = %d, want 2", len(entries))
+	}
+	if entries[1].Profile == nil {
+		t.Fatal("first slow query has no profile capture")
+	}
+	if entries[0].Profile != nil {
+		t.Fatal("second slow query captured despite the rate limit")
+	}
+	pc := entries[1].Profile
+	waitDone(t, pc)
+	if len(pc.Bytes("heap")) == 0 {
+		t.Fatal("heap capture is empty")
+	}
+	if len(pc.Bytes("cpu")) == 0 {
+		t.Fatal("cpu capture is empty")
+	}
+	if pc.Bytes("nope") != nil {
+		t.Fatal("unknown kind must return nil")
+	}
+
+	// The slow-log JSON carries metadata + URLs, not raw bytes.
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var slow struct {
+		Entries []struct {
+			Profile *struct {
+				Seq       int64  `json:"seq"`
+				Done      bool   `json:"done"`
+				HeapBytes int    `json:"heap_bytes"`
+				HeapURL   string `json:"heap_url"`
+				CPUURL    string `json:"cpu_url"`
+			} `json:"profile"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &slow); err != nil {
+		t.Fatalf("slowlog JSON: %v\n%s", err, body)
+	}
+	var meta *struct {
+		Seq       int64  `json:"seq"`
+		Done      bool   `json:"done"`
+		HeapBytes int    `json:"heap_bytes"`
+		HeapURL   string `json:"heap_url"`
+		CPUURL    string `json:"cpu_url"`
+	}
+	for _, e := range slow.Entries {
+		if e.Profile != nil {
+			meta = e.Profile
+		}
+	}
+	if meta == nil || !meta.Done || meta.HeapBytes == 0 || meta.HeapURL == "" {
+		t.Fatalf("profile metadata: %+v\n%s", meta, body)
+	}
+
+	resp, err = http.Get(srv.URL + meta.HeapURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(raw) != len(pc.Bytes("heap")) {
+		t.Fatalf("heap retrieval: %d, %d bytes (want %d)", resp.StatusCode, len(raw), len(pc.Bytes("heap")))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("heap retrieval content type: %s", ct)
+	}
+
+	// Error paths of the retrieval endpoint.
+	for path, want := range map[string]int{
+		"/debug/slowlog/profile":                  http.StatusBadRequest,
+		"/debug/slowlog/profile?seq=1&kind=nope":  http.StatusBadRequest,
+		"/debug/slowlog/profile?seq=99&kind=heap": http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestProfileCaptureDisabledByDefault: without CaptureProfiles nothing is
+// captured, and the JSON stays free of profile fields.
+func TestProfileCaptureDisabledByDefault(t *testing.T) {
+	s := New(Config{SlowThreshold: time.Nanosecond, SlowCapacity: 2})
+	fakeQuery(s, "rds", time.Millisecond, nil, 1)
+	entries := s.Slow.Snapshot()
+	if len(entries) != 1 || entries[0].Profile != nil {
+		t.Fatalf("capture ran without opt-in: %+v", entries)
+	}
+	var b strings.Builder
+	if err := s.Slow.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"profile"`) {
+		t.Fatalf("profile key present without a capture:\n%s", b.String())
+	}
+}

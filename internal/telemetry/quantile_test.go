@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"conceptrank/internal/core"
+)
+
+func fakeMetrics() *core.Metrics {
+	m := &core.Metrics{TotalTime: time.Millisecond, Iterations: 3,
+		DRCCalls: 40, DocsExamined: 40, TerminalEps: 0.2, ResultCount: 10}
+	m.Stages[core.StageWave].Time = 100 * time.Microsecond
+	m.Stages[core.StageExam].Time = 700 * time.Microsecond
+	return m
+}
+
+// TestQuantileEdges pins the documented edge behavior: empty histogram
+// and NaN q yield NaN; q is clamped into [0, 1]; q = 1 and q > 1 agree;
+// +Inf appears only when tail-bucket samples exist.
+func TestQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+
+	h.Observe(0.5) // bucket le=1
+	h.Observe(1.5) // bucket le=2
+	h.Observe(3.0) // bucket le=4
+	cases := []struct{ q, want float64 }{
+		{-0.5, 1}, // clamped to the smallest sample's bucket
+		{0, 1},
+		{0.34, 2},
+		{0.67, 4},
+		{1, 4}, // largest sample's bucket, not +Inf
+		{1.5, 4},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+
+	// A sample beyond the last bound lives in the +Inf bucket: only then
+	// does a high quantile report +Inf (there is no finite bound for it).
+	h.Observe(100)
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("Quantile(1) with tail sample = %v, want +Inf", got)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v, want 2", got)
+	}
+}
+
+// FuzzHistogramQuantile: for any observation set and any q, Quantile
+// never panics and returns NaN only for an empty histogram or NaN q; a
+// non-NaN result is one of the bucket bounds or +Inf, and Quantile is
+// monotone in q.
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add(0.5, 1.0, 3.0, uint8(3))
+	f.Add(-1.0, 0.0, 0.0, uint8(0))
+	f.Add(2.0, math.Inf(1), -5.0, uint8(7))
+	f.Fuzz(func(t *testing.T, q, v1, v2 float64, n uint8) {
+		h := newHistogram([]float64{0.001, 0.01, 0.1, 1, 10})
+		for i := uint8(0); i < n%16; i++ {
+			h.Observe(v1 + float64(i)*v2)
+		}
+		got := h.Quantile(q)
+		if h.Count() == 0 || math.IsNaN(q) {
+			if !math.IsNaN(got) {
+				t.Fatalf("Quantile(%v) on count=%d = %v, want NaN", q, h.Count(), got)
+			}
+			return
+		}
+		if math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = NaN with %d samples", q, h.Count())
+		}
+		valid := math.IsInf(got, 1)
+		for _, b := range h.bounds {
+			if got == b {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("Quantile(%v) = %v is not a bucket bound", q, got)
+		}
+		if lo, hi := h.Quantile(0), h.Quantile(1); !(got >= lo || math.IsInf(got, 1)) || (got > hi && !math.IsInf(got, 1)) {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, got, lo, hi)
+		}
+	})
+}
+
+// BenchmarkHistogramObserve is the CI smoke benchmark for the hot
+// recording path (a linear bucket scan plus three atomic adds).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.00001)
+	}
+}
+
+// BenchmarkSinkQueryDone measures the full per-query telemetry cost the
+// facade pays per instrumented query (recording plus stats observation).
+func BenchmarkSinkQueryDone(b *testing.B) {
+	s := New(Config{SlowThreshold: time.Hour})
+	m := fakeMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, done := s.Query("rds", nil)
+		done(m, nil)
+	}
+}

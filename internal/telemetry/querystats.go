@@ -37,13 +37,21 @@ type QueryStats struct {
 	ShardFanout  *Histogram // <prefix>_query_shard_fanout
 	CacheHits    *Counter   // <prefix>_query_cache_hits_total
 	CacheMisses  *Counter   // <prefix>_query_cache_misses_total
+
+	// Per-stage resource attribution, one labeled series per pipeline
+	// stage, indexed by core.Stage. The time histograms fill on every
+	// query; the allocation counters only move when queries run with
+	// core.Options.StageAllocs (the engine's opt-in allocation sampler).
+	StageSeconds [core.NumStages]*Histogram // <prefix>_stage_seconds{stage=...}
+	StageBytes   [core.NumStages]*Counter   // <prefix>_stage_alloc_bytes_total{stage=...}
+	StageObjects [core.NumStages]*Counter   // <prefix>_stage_alloc_objects_total{stage=...}
 }
 
 // NewQueryStats registers the query instruments under prefix (e.g.
 // "conceptrank") in r. Calling it twice with the same prefix returns a
 // bundle over the same underlying instruments.
 func NewQueryStats(r *Registry, prefix string) *QueryStats {
-	return &QueryStats{
+	q := &QueryStats{
 		Queries:      r.Counter(prefix+"_queries_total", "Queries completed, including failed ones."),
 		Errors:       r.Counter(prefix+"_query_errors_total", "Queries that returned an error (including cancellation)."),
 		TraceEvents:  r.Counter(prefix+"_trace_events_total", "Span events delivered to telemetry trace recorders."),
@@ -56,6 +64,16 @@ func NewQueryStats(r *Registry, prefix string) *QueryStats {
 		CacheHits:    r.Counter(prefix+"_query_cache_hits_total", "Seed vectors served from the distance cache during query planning."),
 		CacheMisses:  r.Counter(prefix+"_query_cache_misses_total", "Seed vectors built cold during query planning."),
 	}
+	for i := 0; i < core.NumStages; i++ {
+		stage := core.Stage(i).String()
+		q.StageSeconds[i] = r.LabeledHistogram(prefix+"_stage_seconds",
+			"Wall time per pipeline stage per query, in seconds.", "stage", stage, LatencyBuckets)
+		q.StageBytes[i] = r.LabeledCounter(prefix+"_stage_alloc_bytes_total",
+			"Heap bytes allocated per pipeline stage (queries run with StageAllocs only).", "stage", stage)
+		q.StageObjects[i] = r.LabeledCounter(prefix+"_stage_alloc_objects_total",
+			"Heap objects allocated per pipeline stage (queries run with StageAllocs only).", "stage", stage)
+	}
+	return q
 }
 
 // Observe records one finished query. m may be nil (a query that failed
@@ -76,6 +94,14 @@ func (q *QueryStats) Observe(m *core.Metrics, err error) {
 	q.DocsExamined.Observe(float64(m.DocsExamined))
 	q.CacheHits.Add(int64(m.CacheHits))
 	q.CacheMisses.Add(int64(m.CacheMisses))
+	for i := range m.Stages {
+		st := &m.Stages[i]
+		if st.Time > 0 {
+			q.StageSeconds[i].Observe(st.Time.Seconds())
+		}
+		q.StageBytes[i].Add(st.AllocBytes)
+		q.StageObjects[i].Add(st.AllocObjects)
+	}
 	if err == nil {
 		// ε_d is defined at successful termination only; an aborted
 		// query's zero value would skew the distribution.

@@ -1,11 +1,15 @@
 // Package telemetry is the zero-dependency observability layer of the
 // kNDS stack: a runtime metrics registry (counters, gauges, fixed-bucket
-// histograms) with Prometheus-text and expvar-style JSON exposition, a
-// per-query span recorder feeding a "last N slow queries" ring buffer, and
-// a live introspection HTTP server (/metrics, /debug/vars, /debug/pprof/*,
-// /debug/slowlog). Everything is stdlib-only and safe for concurrent use;
-// recording a sample is a handful of atomic operations, so instrumented
-// engines stay cheap (EXPERIMENTS.md records the measured overhead).
+// histograms, with single-label families for series like
+// conceptrank_stage_seconds{stage="wave"}) with Prometheus-text and
+// expvar-style JSON exposition, a per-query span recorder feeding a
+// "last N slow queries" ring buffer, a background runtime/GC sampler
+// (AttachRuntime), rate-limited pprof capture for slow queries, and a
+// live introspection HTTP server (/metrics, /debug/vars, /debug/pprof/*,
+// /debug/slowlog, /debug/runtime). Everything is stdlib-only and safe for
+// concurrent use; recording a sample is a handful of atomic operations,
+// so instrumented engines stay cheap (EXPERIMENTS.md records the measured
+// overhead).
 package telemetry
 
 import (
@@ -19,13 +23,35 @@ import (
 	"sync/atomic"
 )
 
-// metric is the exposition contract shared by all instrument types.
+// metric is the contract shared by all instrument types: a Prometheus
+// type string plus the sample lines (the registry owns the per-family
+// HELP/TYPE header, so labeled series share one header).
 type metric interface {
-	// writeProm appends the metric's full Prometheus text exposition
-	// (HELP/TYPE header plus sample lines) for the given name.
-	writeProm(b *strings.Builder, name, help string)
+	// promType is the TYPE keyword: "counter", "gauge" or "histogram".
+	promType() string
+	// writePromSamples appends the metric's sample lines for the given
+	// family name and rendered label pairs (`stage="plan"`-style, without
+	// braces; empty for an unlabeled metric).
+	writePromSamples(b *strings.Builder, name, labels string)
 	// jsonValue returns the metric's expvar-style JSON encoding.
 	jsonValue() string
+}
+
+// sampleName renders one sample identity: name, name{labels} or — for
+// histograms — name_bucket{labels,le="..."} via extra.
+func sampleName(b *strings.Builder, name, suffix, labels, extra string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels == "" && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	b.WriteString(labels)
+	if labels != "" && extra != "" {
+		b.WriteByte(',')
+	}
+	b.WriteString(extra)
+	b.WriteByte('}')
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -46,8 +72,11 @@ func (c *Counter) Add(n int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-func (c *Counter) writeProm(b *strings.Builder, name, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
+func (c *Counter) promType() string { return "counter" }
+
+func (c *Counter) writePromSamples(b *strings.Builder, name, labels string) {
+	sampleName(b, name, "", labels, "")
+	fmt.Fprintf(b, " %d\n", c.Value())
 }
 
 func (c *Counter) jsonValue() string { return strconv.FormatInt(c.Value(), 10) }
@@ -73,8 +102,11 @@ func (g *Gauge) Add(d float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-func (g *Gauge) writeProm(b *strings.Builder, name, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(g.Value()))
+func (g *Gauge) promType() string { return "gauge" }
+
+func (g *Gauge) writePromSamples(b *strings.Builder, name, labels string) {
+	sampleName(b, name, "", labels, "")
+	fmt.Fprintf(b, " %s\n", formatFloat(g.Value()))
 }
 
 func (g *Gauge) jsonValue() string { return formatFloat(g.Value()) }
@@ -86,8 +118,11 @@ type gaugeFunc struct {
 	fn func() float64
 }
 
-func (g *gaugeFunc) writeProm(b *strings.Builder, name, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(g.fn()))
+func (g *gaugeFunc) promType() string { return "gauge" }
+
+func (g *gaugeFunc) writePromSamples(b *strings.Builder, name, labels string) {
+	sampleName(b, name, "", labels, "")
+	fmt.Fprintf(b, " %s\n", formatFloat(g.fn()))
 }
 
 func (g *gaugeFunc) jsonValue() string { return formatFloat(g.fn()) }
@@ -99,8 +134,11 @@ type counterFunc struct {
 	fn func() int64
 }
 
-func (c *counterFunc) writeProm(b *strings.Builder, name, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.fn())
+func (c *counterFunc) promType() string { return "counter" }
+
+func (c *counterFunc) writePromSamples(b *strings.Builder, name, labels string) {
+	sampleName(b, name, "", labels, "")
+	fmt.Fprintf(b, " %d\n", c.fn())
 }
 
 func (c *counterFunc) jsonValue() string { return strconv.FormatInt(c.fn(), 10) }
@@ -150,17 +188,24 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) assuming samples sit at
-// their bucket's upper bound — the same estimate Prometheus's
-// histogram_quantile produces. Returns NaN with no samples.
+// Quantile estimates the q-quantile assuming samples sit at their
+// bucket's upper bound — the same estimate Prometheus's
+// histogram_quantile produces. Edge behavior is pinned: an empty
+// histogram returns NaN for every q, and so does q = NaN; q is clamped
+// into [0, 1], so q <= 0 returns the lowest occupied bucket's bound and
+// q >= 1 the highest occupied bucket's bound (+Inf only when tail-bucket
+// samples exist — there is no finite upper bound to report for them).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
-	if total == 0 {
+	if total == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
-		rank = 1
+		rank = 1 // q <= 0: the smallest sample
+	}
+	if rank > total {
+		rank = total // q >= 1: the largest sample
 	}
 	var cum int64
 	for i := range h.counts {
@@ -175,17 +220,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
-func (h *Histogram) writeProm(b *strings.Builder, name, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+func (h *Histogram) promType() string { return "histogram" }
+
+func (h *Histogram) writePromSamples(b *strings.Builder, name, labels string) {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		sampleName(b, name, "_bucket", labels, fmt.Sprintf("le=%q", formatFloat(bound)))
+		fmt.Fprintf(b, " %d\n", cum)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	sampleName(b, name, "_bucket", labels, `le="+Inf"`)
+	fmt.Fprintf(b, " %d\n", cum)
+	sampleName(b, name, "_sum", labels, "")
+	fmt.Fprintf(b, " %s\n", formatFloat(h.Sum()))
+	sampleName(b, name, "_count", labels, "")
+	fmt.Fprintf(b, " %d\n", h.Count())
 }
 
 func (h *Histogram) jsonValue() string {
@@ -214,46 +264,95 @@ func formatFloat(v float64) string {
 }
 
 // Registry holds named metrics. Registration is idempotent per (name,
-// type): asking for an existing name returns the existing instrument, so
-// independent components can share one registry without coordination.
-// Registering a name twice with different types panics — that is a wiring
+// labels, type): asking for an existing series returns the existing
+// instrument, so independent components can share one registry without
+// coordination. Registering a series twice with different types — or two
+// series of one family with different types — panics: that is a wiring
 // bug, not a runtime condition.
+//
+// A family is either unlabeled (one series, plain name) or labeled: any
+// number of series sharing the name, each distinguished by one label pair
+// (LabeledCounter/LabeledGauge/LabeledHistogram). The Prometheus writer
+// emits the family's HELP/TYPE header once and every series' samples
+// under it, which is what makes conceptrank_stage_seconds{stage="wave"}
+// -style exposition legal scrape output.
 type Registry struct {
 	mu      sync.Mutex
-	byName  map[string]*entry
-	ordered []*entry // sorted by name, rebuilt lazily
+	byName  map[string]*entry  // key: name or name{labels}
+	family  map[string]*entry  // first entry of each family, for type checks
+	ordered []*entry           // sorted by (name, labels), rebuilt lazily
 	dirty   bool
 }
 
 type entry struct {
 	name, help string
+	labels     string // rendered pairs inside the braces; "" = unlabeled
 	m          metric
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: map[string]*entry{}}
+	return &Registry{byName: map[string]*entry{}, family: map[string]*entry{}}
 }
 
-func (r *Registry) register(name, help string, mk func() metric) metric {
+func (r *Registry) register(name, labels, help string, mk func() metric) metric {
 	if name == "" {
 		panic("telemetry: empty metric name")
 	}
+	key := name
+	if labels != "" {
+		key = name + "{" + labels + "}"
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.byName[name]; ok {
+	if e, ok := r.byName[key]; ok {
 		return e.m
 	}
-	e := &entry{name: name, help: help, m: mk()}
-	r.byName[name] = e
+	e := &entry{name: name, help: help, labels: labels, m: mk()}
+	if f, ok := r.family[name]; ok {
+		if f.m.promType() != e.m.promType() {
+			panic(fmt.Sprintf("telemetry: %s already registered as TYPE %s, cannot add a %s series",
+				name, f.m.promType(), e.m.promType()))
+		}
+	} else {
+		r.family[name] = e
+	}
+	r.byName[key] = e
 	r.ordered = append(r.ordered, e)
 	r.dirty = true
 	return e.m
 }
 
+// renderLabel validates and renders one label pair. Values are escaped
+// per the Prometheus text format; keys must be plain identifiers.
+func renderLabel(key, value string) string {
+	if key == "" {
+		panic("telemetry: empty label key")
+	}
+	for i, c := range key {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("telemetry: invalid label key %q", key))
+		}
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return key + `="` + esc + `"`
+}
+
 // Counter registers (or fetches) a counter.
 func (r *Registry) Counter(name, help string) *Counter {
-	m := r.register(name, help, func() metric { return &Counter{} })
+	return r.counter(name, "", help)
+}
+
+// LabeledCounter registers (or fetches) one labeled counter series of the
+// family name, e.g. LabeledCounter("conceptrank_stage_alloc_bytes_total",
+// help, "stage", "wave").
+func (r *Registry) LabeledCounter(name, help, labelKey, labelValue string) *Counter {
+	return r.counter(name, renderLabel(labelKey, labelValue), help)
+}
+
+func (r *Registry) counter(name, labels, help string) *Counter {
+	m := r.register(name, labels, help, func() metric { return &Counter{} })
 	c, ok := m.(*Counter)
 	if !ok {
 		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
@@ -263,7 +362,17 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge registers (or fetches) a gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	m := r.register(name, help, func() metric { return &Gauge{} })
+	return r.gauge(name, "", help)
+}
+
+// LabeledGauge registers (or fetches) one labeled gauge series of the
+// family name.
+func (r *Registry) LabeledGauge(name, help, labelKey, labelValue string) *Gauge {
+	return r.gauge(name, renderLabel(labelKey, labelValue), help)
+}
+
+func (r *Registry) gauge(name, labels, help string) *Gauge {
+	m := r.register(name, labels, help, func() metric { return &Gauge{} })
 	g, ok := m.(*Gauge)
 	if !ok {
 		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
@@ -274,7 +383,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // GaugeFunc registers a gauge whose value is sampled from fn at
 // exposition time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	m := r.register(name, help, func() metric { return &gaugeFunc{fn: fn} })
+	m := r.register(name, "", help, func() metric { return &gaugeFunc{fn: fn} })
 	if _, ok := m.(*gaugeFunc); !ok {
 		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
 	}
@@ -283,7 +392,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // CounterFunc registers a counter whose value is sampled from fn at
 // exposition time. fn must be monotonically non-decreasing.
 func (r *Registry) CounterFunc(name, help string, fn func() int64) {
-	m := r.register(name, help, func() metric { return &counterFunc{fn: fn} })
+	m := r.register(name, "", help, func() metric { return &counterFunc{fn: fn} })
 	if _, ok := m.(*counterFunc); !ok {
 		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
 	}
@@ -292,7 +401,18 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 // Histogram registers (or fetches) a histogram with the given ascending
 // bucket upper bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	m := r.register(name, help, func() metric { return newHistogram(bounds) })
+	return r.histogram(name, "", help, bounds)
+}
+
+// LabeledHistogram registers (or fetches) one labeled histogram series of
+// the family name, e.g. LabeledHistogram("conceptrank_stage_seconds",
+// help, "stage", "wave", LatencyBuckets).
+func (r *Registry) LabeledHistogram(name, help, labelKey, labelValue string, bounds []float64) *Histogram {
+	return r.histogram(name, renderLabel(labelKey, labelValue), help, bounds)
+}
+
+func (r *Registry) histogram(name, labels, help string, bounds []float64) *Histogram {
+	m := r.register(name, labels, help, func() metric { return newHistogram(bounds) })
 	h, ok := m.(*Histogram)
 	if !ok {
 		panic(fmt.Sprintf("telemetry: %s already registered as %T", name, m))
@@ -304,18 +424,29 @@ func (r *Registry) snapshot() []*entry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.dirty {
-		sort.Slice(r.ordered, func(i, j int) bool { return r.ordered[i].name < r.ordered[j].name })
+		sort.Slice(r.ordered, func(i, j int) bool {
+			if r.ordered[i].name != r.ordered[j].name {
+				return r.ordered[i].name < r.ordered[j].name
+			}
+			return r.ordered[i].labels < r.ordered[j].labels
+		})
 		r.dirty = false
 	}
 	return append([]*entry(nil), r.ordered...)
 }
 
 // WritePrometheus writes every metric in the Prometheus text exposition
-// format (version 0.0.4), sorted by name.
+// format (version 0.0.4), sorted by name then labels; a labeled family's
+// HELP/TYPE header is emitted once ahead of all its series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
+	prev := ""
 	for _, e := range r.snapshot() {
-		e.m.writeProm(&b, e.name, e.help)
+		if e.name != prev {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.m.promType())
+			prev = e.name
+		}
+		e.m.writePromSamples(&b, e.name, e.labels)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -323,7 +454,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // WriteJSON writes every metric as one flat JSON object in the style of
 // expvar's /debug/vars: scalar values for counters and gauges, a
-// {count, sum, buckets} object for histograms.
+// {count, sum, buckets} object for histograms. A labeled series' key is
+// its full identity, e.g. "conceptrank_stage_seconds{stage=\"wave\"}".
 func (r *Registry) WriteJSON(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString("{")
@@ -333,7 +465,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		} else {
 			b.WriteString("\n")
 		}
-		fmt.Fprintf(&b, "%q: %s", e.name, e.m.jsonValue())
+		key := e.name
+		if e.labels != "" {
+			key = e.name + "{" + e.labels + "}"
+		}
+		fmt.Fprintf(&b, "%q: %s", key, e.m.jsonValue())
 	}
 	b.WriteString("\n}\n")
 	_, err := io.WriteString(w, b.String())

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAttachRuntime: the sampler primes synchronously, the go_* series
+// appear on /metrics, /debug/runtime serves the snapshot, and stop is
+// idempotent.
+func TestAttachRuntime(t *testing.T) {
+	s := testSink(time.Hour)
+	stop := s.AttachRuntime(time.Hour) // cadence irrelevant: priming is synchronous
+	defer stop()
+
+	rs := s.runtime.Snapshot()
+	if rs.When.IsZero() || rs.Goroutines <= 0 || rs.GOMAXPROCS <= 0 {
+		t.Fatalf("primed snapshot looks empty: %+v", rs)
+	}
+	if rs.TotalAllocBytes == 0 || rs.HeapLiveBytes == 0 {
+		t.Fatalf("allocation fields empty: %+v", rs)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var got struct {
+		Attached bool `json:"attached"`
+		RuntimeStats
+		IntervalNS time.Duration `json:"interval_ns"`
+	}
+	if resp.StatusCode != 200 || json.Unmarshal(body, &got) != nil {
+		t.Fatalf("/debug/runtime: %d\n%s", resp.StatusCode, body)
+	}
+	if !got.Attached || got.GOMAXPROCS != runtime.GOMAXPROCS(0) || got.IntervalNS != time.Hour {
+		t.Fatalf("/debug/runtime payload: %+v", got)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"go_gomaxprocs", "go_heap_live_bytes", "go_heap_goal_bytes",
+		"go_gc_cycles_total", "go_alloc_bytes_total", "go_gc_pause_p99_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q after AttachRuntime:\n%s", want, body)
+		}
+	}
+
+	stop()
+	stop() // idempotent
+}
+
+// TestDebugRuntimeWithoutAttach: the endpoint degrades to a clear
+// "not attached" payload instead of a panic or empty struct.
+func TestDebugRuntimeWithoutAttach(t *testing.T) {
+	s := testSink(time.Hour)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"attached":false`) {
+		t.Fatalf("unattached /debug/runtime: %s", body)
+	}
+}
+
+// TestHistQuantileRuntimeHistogram exercises the runtime/metrics
+// histogram resolver directly on a real pause histogram shape.
+func TestHistQuantileRuntimeHistogram(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 2, 1, 1},
+		Buckets: []float64{0, 1e-6, 1e-5, 1e-4, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 1e-5 {
+		t.Fatalf("p50 = %v, want 1e-5", got)
+	}
+	if got := histQuantile(h, 1); got != 1e-4 {
+		// The max sits in the last finite bucket: its lower bound is the
+		// fallback only for the +Inf tail; here the upper bound is finite.
+		t.Fatalf("max = %v, want 1e-4", got)
+	}
+	h.Counts[3] = 0
+	h.Counts[1] = 0
+	if got := histQuantile(h, 0); got != 1e-4 {
+		// Quantiles resolve to bucket upper bounds, min included.
+		t.Fatalf("min = %v, want 1e-4", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Fatalf("empty runtime histogram quantile = %v, want 0", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -82,6 +83,47 @@ func TestSinkSlowLogThresholdAndRing(t *testing.T) {
 		if e.Events[len(e.Events)-1].Kind != "Terminate" {
 			t.Fatalf("events not stringified: %+v", e.Events)
 		}
+	}
+}
+
+// A Bound event legitimately reports d⁻ = +Inf once every document is
+// discovered; encoding/json rejects non-finite numbers, so an unguarded
+// float64 would blank the whole /debug/slowlog response (regression:
+// found driving crserve -demo, where dense synthetic queries discover the
+// full corpus).
+func TestSlowLogNonFiniteEventValues(t *testing.T) {
+	s := testSink(time.Nanosecond) // everything is slow
+	trace, done := s.Query("rds", nil)
+	trace(core.TraceEvent{Kind: core.TraceBound, Value: math.Inf(1), Shard: -1})
+	trace(core.TraceEvent{Kind: core.TraceBound, Value: math.NaN(), Shard: -1})
+	trace(core.TraceEvent{Kind: core.TraceTerminate, Value: 0.5, Shard: -1})
+	done(&core.Metrics{TotalTime: time.Second}, nil)
+
+	var buf strings.Builder
+	if err := s.Slow.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		Entries []SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatalf("slowlog JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	ev := out.Entries[0].Events
+	if len(ev) != 3 {
+		t.Fatalf("kept %d events, want 3", len(ev))
+	}
+	if !math.IsInf(float64(ev[0].Value), 1) {
+		t.Fatalf("event 0 value = %v, want +Inf", ev[0].Value)
+	}
+	if !math.IsNaN(float64(ev[1].Value)) {
+		t.Fatalf("event 1 value = %v, want NaN", ev[1].Value)
+	}
+	if float64(ev[2].Value) != 0.5 {
+		t.Fatalf("event 2 value = %v, want 0.5", ev[2].Value)
+	}
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Fatalf("expected the Prometheus +Inf spelling in %s", buf.String())
 	}
 }
 

@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 
@@ -27,6 +29,11 @@ type SlowEntry struct {
 	Events []SlowEvent `json:"events,omitempty"`
 	// TruncatedEvents is how many span events were dropped beyond the cap.
 	TruncatedEvents int `json:"truncated_events,omitempty"`
+	// Profile is the pprof capture attached to this entry, when the sink
+	// runs with Config.CaptureProfiles and the rate limit allowed one. The
+	// JSON form carries metadata and retrieval URLs only; the raw bytes
+	// live at /debug/slowlog/profile.
+	Profile *ProfileCapture `json:"profile,omitempty"`
 }
 
 // SlowEvent is a core.TraceEvent rendered for the slow log: the kind is
@@ -37,15 +44,59 @@ type SlowEvent struct {
 	Wave  int           `json:"wave,omitempty"`
 	Depth int           `json:"depth,omitempty"`
 	Doc   int           `json:"doc,omitempty"`
-	Value float64       `json:"value,omitempty"`
+	Value jsonFloat     `json:"value,omitempty"`
 	N     int           `json:"n,omitempty"`
 	Shard int           `json:"shard,omitempty"`
+}
+
+// jsonFloat is a float64 that survives JSON encoding when non-finite.
+// Span events legitimately carry ±Inf — a Bound event reports d⁻ = +Inf
+// once every document is discovered — and encoding/json rejects
+// non-finite numbers outright, which would blank the whole /debug/slowlog
+// response. Non-finite values encode as the strings "+Inf"/"-Inf"/"NaN"
+// (the same spelling Prometheus uses for the +Inf bucket bound).
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "+Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		default:
+			return fmt.Errorf("telemetry: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
 }
 
 func toSlowEvent(ev core.TraceEvent) SlowEvent {
 	return SlowEvent{
 		Kind: ev.Kind.String(), At: ev.At, Wave: ev.Wave, Depth: ev.Depth,
-		Doc: int(ev.Doc), Value: ev.Value, N: ev.N, Shard: ev.Shard,
+		Doc: int(ev.Doc), Value: jsonFloat(ev.Value), N: ev.N, Shard: ev.Shard,
 	}
 }
 

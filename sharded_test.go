@@ -142,27 +142,23 @@ func TestFunctionalOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deprecated, _, err := eng.FullScanRDSParallel(q, 5, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
 	for i := range serial {
-		if serial[i] != parallel[i] || serial[i] != deprecated[i] {
-			t.Fatalf("full-scan variants disagree at %d: %v / %v / %v",
-				i, serial[i], parallel[i], deprecated[i])
+		if serial[i] != parallel[i] {
+			t.Fatalf("full-scan variants disagree at %d: %v / %v",
+				i, serial[i], parallel[i])
 		}
 	}
-	sdsNew, _, err := eng.FullScanSDS(q, WithK(4), WithWorkers(2))
+	sdsSerial, _, err := eng.FullScanSDS(q, WithK(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sdsOld, _, err := eng.FullScanSDSParallel(q, 4, 2)
+	sdsParallel, _, err := eng.FullScanSDS(q, WithK(4), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range sdsNew {
-		if sdsNew[i] != sdsOld[i] {
-			t.Fatalf("SDS full-scan variants disagree: %v vs %v", sdsNew, sdsOld)
+	for i := range sdsSerial {
+		if sdsSerial[i] != sdsParallel[i] {
+			t.Fatalf("SDS full-scan variants disagree: %v vs %v", sdsSerial, sdsParallel)
 		}
 	}
 	if _, _, err := eng.FullScanRDS(q, WithWorkers(-2)); err == nil {

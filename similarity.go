@@ -80,16 +80,6 @@ func (e *Engine) MergedRDS(ctx context.Context, queries [][]ConceptID, opts ...O
 	return out, m, err
 }
 
-// MergedRDSTopK is the former MergedRDS signature.
-//
-// Deprecated: use MergedRDS with a context and options — MergedRDSTopK(q, 5)
-// is MergedRDS(context.Background(), q, WithK(5)) minus the metrics. This
-// shim will be removed after one release.
-func (e *Engine) MergedRDSTopK(queries [][]ConceptID, k int) ([]MergedResult, error) {
-	res, _, err := e.MergedRDS(context.Background(), queries, WithK(k))
-	return res, err
-}
-
 // Text + concept hybrid retrieval (the paper's Section 7 future work:
 // "combine our methods with IR ranking").
 
@@ -177,18 +167,6 @@ func (e *Engine) HybridRDS(ctx context.Context, query []ConceptID, textQuery str
 		bm25 = h.tix.Scores(textQuery)
 	}
 	return ir.Hybrid(sem, bm25, h.alpha, h.k), m, nil
-}
-
-// HybridRDSAlpha is the former HybridRDS signature.
-//
-// Deprecated: use HybridRDS with a context and options —
-// HybridRDSAlpha(q, t, tix, 0.7, 20) is HybridRDS(context.Background(),
-// q, t, WithTextIndex(tix), WithFusionWeight(0.7), WithHybridK(20)) minus
-// the metrics. This shim will be removed after one release.
-func (e *Engine) HybridRDSAlpha(query []ConceptID, textQuery string, tix *TextIndex, alpha float64, k int) ([]HybridResult, error) {
-	res, _, err := e.HybridRDS(context.Background(), query, textQuery,
-		WithTextIndex(tix), WithFusionWeight(alpha), WithHybridK(k))
-	return res, err
 }
 
 // Weighted document distances (Melton et al.'s general weighted form; the
