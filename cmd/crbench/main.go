@@ -30,6 +30,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		workers   = flag.Int("workers", 1, "intra-query Options.Workers for the reproduction workloads (1 = the paper's serial engine; results identical either way)")
 		outPath   = flag.String("out", "", "also write the markdown to this file")
+		csvPath   = flag.String("csv", "", "also write every table as CSV (stable column order, table-ID-prefixed rows) to this file — the diffable form CI archives for before/after comparisons")
 		listen    = flag.String("listen", "", "serve /debug/pprof and /metrics on this address for the duration of the run")
 	)
 	flag.Parse()
@@ -70,5 +71,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	}
+	if *csvPath != "" {
+		var cb strings.Builder
+		for _, t := range tables {
+			cb.WriteString(t.CSV())
+		}
+		if err := os.WriteFile(*csvPath, []byte(cb.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
 }

@@ -238,6 +238,14 @@ func WithMeasure(m DistanceMeasure) Option { return core.WithMeasure(m) }
 // attribute on an otherwise idle process for exact numbers.
 func WithStageAllocs() Option { return core.WithStageAllocs() }
 
+// WithArenaRetainBytes caps the per-query arena memory an engine keeps
+// pooled between queries (Options.ArenaRetainBytes). Queries carve their
+// mutable state from recycled arenas, so a warm engine allocates almost
+// nothing per query; the cap bounds what one outlier query can pin. 0
+// selects the default cap (8 MiB per pooled arena); a negative value
+// disables retention. Results are identical at every setting.
+func WithArenaRetainBytes(n int64) Option { return core.WithArenaRetainBytes(n) }
+
 // Pipeline stages of the per-query resource attribution (Metrics.Stages),
 // re-exported from the engine.
 const (

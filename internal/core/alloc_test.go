@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+// Steady-state allocation guards: a warm serial engine recycles its query
+// arena, DRC scratch and radix workspace, so repeated queries must carve
+// (almost) all of their mutable state from retained memory. The bound is
+// a regression tripwire for the per-query constant — plan-stage objects
+// (executor, prepared query entries, metrics, collector) still allocate,
+// but per-candidate and per-probe state must not.
+
+func warmQueryAllocs(t *testing.T, sds bool) float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	o := randomDAGOntology(r, 300, 0.3)
+	coll := randomCollection(r, o, 400, 8)
+	e := memEngine(o, coll)
+	var q []ontology.ConceptID
+	for _, d := range coll.Docs() {
+		if len(d.Concepts) >= 3 {
+			q = d.Concepts[:3]
+			break
+		}
+	}
+	if q == nil {
+		t.Skip("no document with enough concepts")
+	}
+	opts := Options{K: 10, ErrorThreshold: 0.5, Workers: 1}
+	run := func() {
+		var res []Result
+		var err error
+		if sds {
+			res, _, err = e.SDS(q, opts)
+		} else {
+			res, _, err = e.RDS(q, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			t.Fatal("no results")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the arena pool, address cache and DRC scratch
+	}
+	return testing.AllocsPerRun(20, run)
+}
+
+func TestWarmSerialRDSAllocBound(t *testing.T) {
+	allocs := warmQueryAllocs(t, false)
+	t.Logf("warm serial RDS query: %.1f objects", allocs)
+	if allocs > 150 {
+		t.Errorf("warm serial RDS query allocates %.0f objects, want <= 150", allocs)
+	}
+}
+
+func TestWarmSerialSDSAllocBound(t *testing.T) {
+	allocs := warmQueryAllocs(t, true)
+	t.Logf("warm serial SDS query: %.1f objects", allocs)
+	if allocs > 150 {
+		t.Errorf("warm serial SDS query allocates %.0f objects, want <= 150", allocs)
+	}
+}

@@ -115,6 +115,7 @@ func (e *Engine) fullScan(ctx context.Context, sds bool, rawQuery []ontology.Con
 	tr.emit(TraceEvent{Kind: TraceWaveStart, N: n})
 	hk := newTopK(k)
 	mk = smp.mark()
+	var scr drc.Scratch
 	for d := corpus.DocID(0); int(d) < n; d++ {
 		if d%scanCancelStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -138,9 +139,9 @@ func (e *Engine) fullScan(ctx context.Context, sds bool, rawQuery []ontology.Con
 		case opts.UseBL:
 			dist = bl.DocQuery(concepts, q)
 		case sds:
-			dist, err = prep.DocDoc(concepts)
+			dist, err = prep.DocDocScratch(concepts, &scr)
 		default:
-			dist, err = prep.DocQuery(concepts)
+			dist, err = prep.DocQueryScratch(concepts, &scr)
 		}
 		m.DistanceTime += time.Since(t1)
 		if err != nil {

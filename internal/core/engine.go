@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"time"
 
 	"conceptrank/internal/cache"
@@ -147,6 +148,16 @@ type Options struct {
 	// the nearest *path*, not necessarily the smallest measure value, so
 	// exact distances are always recomputed at examination.
 	Measure measure.Measure
+	// ArenaRetainBytes caps the per-query arena memory the engine keeps
+	// pooled for reuse after a query closes. Queries carve their mutable
+	// state (candidate table, coverage arrays, visited bits, DRC scratch)
+	// from a recycled arena, so a warm engine allocates almost nothing per
+	// query; the cap bounds what one outlier query can pin. 0 selects the
+	// default (8 MiB per pooled arena); a negative value disables retention
+	// entirely — every query's arena goes to the garbage collector on
+	// close. Purely a memory/throughput knob: results are identical at
+	// every setting.
+	ArenaRetainBytes int64
 	// StageAllocs enables heap-allocation sampling at every pipeline stage
 	// boundary: Metrics.Stages gains per-stage AllocBytes/AllocObjects
 	// deltas read from the runtime's cumulative allocation counters. The
@@ -285,6 +296,9 @@ type Engine struct {
 	// engine — including each shard of a sharded engine — keys its entries
 	// under a distinct ID.
 	cacheID uint64
+	// arenas recycles per-query arena memory (see arena.go). Each shard of
+	// a sharded engine is its own Engine, so arenas never cross shards.
+	arenas sync.Pool
 }
 
 // NewEngine assembles an engine over a fixed-size collection. io may be

@@ -231,15 +231,10 @@ func (b *boundTable) injectMeasureSeed(origin int32, docs []cache.DocFDist, tota
 		if int(dd.Doc) >= totalDocs {
 			break // ascending by Doc
 		}
-		st := b.states[dd.Doc]
+		st := b.state(dd.Doc)
 		if st == nil {
-			st = &docState{minA: make([]float64, b.nq)}
-			for j := range st.minA {
-				st.minA[j] = math.Inf(1)
-			}
-			b.states[dd.Doc] = st
-			b.live = append(b.live, dd.Doc)
-			m.DocsDiscovered++
+			st = b.newDocState() // RDS only: no direction-B set to carve
+			b.discover(dd.Doc, st, m)
 		}
 		if math.IsInf(st.minA[origin], 1) {
 			st.minA[origin] = dd.Dist

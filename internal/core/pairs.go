@@ -746,6 +746,7 @@ func (e *Engine) TopKPairsNaive(ctx context.Context, opts PairOptions) ([]PairRe
 
 	mg := NewPairMerger(opts.K)
 	t0 := time.Now()
+	var scr drc.Scratch
 	for a := 0; a < n; a++ {
 		if concepts[a] == nil {
 			continue
@@ -759,7 +760,7 @@ func (e *Engine) TopKPairsNaive(ctx context.Context, opts PairOptions) ([]PairRe
 			if concepts[b] == nil {
 				continue
 			}
-			d, err := prep.DocDoc(concepts[b])
+			d, err := prep.DocDocScratch(concepts[b], &scr)
 			if err != nil {
 				m.TotalTime = time.Since(start)
 				return nil, m, err

@@ -65,6 +65,10 @@ type speculator struct {
 	policy ExamPolicy
 	m      *Metrics
 	pool   *pool.Pool // lazily created on the first wave with >= 2 tasks
+	// scratches is a free list of per-probe DRC state, one per worker;
+	// tasks borrow a scratch for the duration of a probe, so a warmed pool
+	// performs speculative examinations without heap allocation.
+	scratches chan *drc.Scratch
 }
 
 func newSpeculator(e *Engine, sds bool, prep *drc.Prepared, nq int32, opts Options, policy ExamPolicy, m *Metrics) *speculator {
@@ -135,6 +139,10 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 	}
 	if s.pool == nil {
 		s.pool = pool.New(s.opts.Workers)
+		s.scratches = make(chan *drc.Scratch, s.opts.Workers)
+		for i := 0; i < s.opts.Workers; i++ {
+			s.scratches <- &drc.Scratch{}
+		}
 	}
 	// Each task writes only its own candidate's spec fields and duration
 	// slot; Run's barrier publishes them to the coordinator (no atomics
@@ -151,14 +159,16 @@ func (s *speculator) prefetch(cands []cand, hk *topK, bound float64, forced bool
 				st.specHas = true
 				return
 			}
+			scr := <-s.scratches
 			t0 := time.Now()
 			var dist float64
 			if s.sds {
-				dist, err = s.prep.DocDoc(concepts)
+				dist, err = s.prep.DocDocScratch(concepts, scr)
 			} else {
-				dist, err = s.prep.DocQuery(concepts)
+				dist, err = s.prep.DocQueryScratch(concepts, scr)
 			}
 			durs[i] = time.Since(t0)
+			s.scratches <- scr
 			st.specDist, st.specErr, st.specHas = dist, err, true
 		}
 	}
@@ -233,6 +243,7 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 		g.Go(func() error {
 			hk := newTopK(k)
 			cr := &chunks[w]
+			var scr drc.Scratch
 			for d := lo; d < hi; d++ {
 				if (d-lo)%scanCancelStride == 0 {
 					if err := gctx.Err(); err != nil {
@@ -252,9 +263,9 @@ func (e *Engine) fullScanParallel(ctx context.Context, sds bool, rawQuery []onto
 				case opts.Measure != nil:
 					dist = measureDocDistance(opts.Measure, q, mvecs, concepts, sds)
 				case sds:
-					dist, err = prep.DocDoc(concepts)
+					dist, err = prep.DocDocScratch(concepts, &scr)
 				default:
-					dist, err = prep.DocQuery(concepts)
+					dist, err = prep.DocQueryScratch(concepts, &scr)
 				}
 				cr.distTime += time.Since(t1)
 				if err != nil {

@@ -140,6 +140,12 @@ type bfsState struct {
 	down   bool
 }
 
+// visitPageNodes is the number of concepts one visited-bit page covers.
+// At 2 bits per concept a page is 512 bytes: small enough that a sparse
+// traversal touching a handful of ontology regions allocates little, big
+// enough that the page-table indirection stays cheap.
+const visitPageNodes = 2048
+
 // waveStepper owns the valid-path BFS frontier. Each executor wave pops
 // exactly one depth level (or a queue-limit-bounded prefix of it) and
 // pushes the next level's states.
@@ -147,20 +153,26 @@ type waveStepper struct {
 	o     *ontology.Ontology
 	queue []bfsState
 	head  int
-	// visited: per (origin, node) phase bits. Bit 1: reached while still
-	// allowed to ascend (up phase); bit 2: reached in descent. An up-phase
-	// visit dominates any later down-phase visit at equal or larger depth.
-	visited map[uint64]uint8
+	// visited: per (origin, node) phase bits, held in lazily allocated
+	// 2-bit pages (visited[origin][node/visitPageNodes]). Bit 1: reached
+	// while still allowed to ascend (up phase); bit 2: reached in descent.
+	// An up-phase visit dominates any later down-phase visit at equal or
+	// larger depth. Pages and page tables are arena-carved; a nil outer
+	// slice means dedup is off.
+	visited  [][][]byte
+	numPages int
+	ar       *queryArena
 }
 
 // newWaveStepper seeds the frontier with every query origin except those
 // marked in seeded (may be nil): a seeded origin's complete coverage was
 // injected into the bound table from a cached Ddc vector, so running its
 // BFS would only rediscover distances the table already holds.
-func newWaveStepper(o *ontology.Ontology, q []ontology.ConceptID, dedup bool, seeded []bool) *waveStepper {
-	w := &waveStepper{o: o}
+func newWaveStepper(o *ontology.Ontology, q []ontology.ConceptID, dedup bool, seeded []bool, ar *queryArena) *waveStepper {
+	w := &waveStepper{o: o, ar: ar, queue: ar.queueBuf[:0]}
 	if dedup {
-		w.visited = make(map[uint64]uint8)
+		w.visited = make([][][]byte, len(q))
+		w.numPages = (o.NumConcepts() + visitPageNodes - 1) / visitPageNodes
 	}
 	for i, qi := range q {
 		if seeded != nil && seeded[i] {
@@ -171,24 +183,31 @@ func newWaveStepper(o *ontology.Ontology, q []ontology.ConceptID, dedup bool, se
 	return w
 }
 
-func vkey(origin int32, node ontology.ConceptID) uint64 {
-	return uint64(origin)<<32 | uint64(node)
-}
-
 func (w *waveStepper) push(s bfsState) {
 	if w.visited != nil {
-		k := vkey(s.origin, s.node)
-		bits := w.visited[k]
+		pt := w.visited[s.origin]
+		if pt == nil {
+			pt = w.ar.tables.AllocN(w.numPages)
+			w.visited[s.origin] = pt
+		}
+		pg := pt[int(s.node)/visitPageNodes]
+		if pg == nil {
+			pg = w.ar.pages.AllocN(visitPageNodes / 4)
+			pt[int(s.node)/visitPageNodes] = pg
+		}
+		bi := (int(s.node) % visitPageNodes) >> 2
+		shift := uint(s.node&3) * 2
+		bits := (pg[bi] >> shift) & 3
 		if s.down {
 			if bits != 0 { // up or down already seen
 				return
 			}
-			w.visited[k] = bits | 2
+			pg[bi] |= 2 << shift
 		} else {
 			if bits&1 != 0 {
 				return
 			}
-			w.visited[k] = bits | 3 // up dominates future down visits
+			pg[bi] |= 3 << shift // up dominates future down visits
 		}
 	}
 	w.queue = append(w.queue, s)
@@ -245,21 +264,29 @@ func (w *waveStepper) reclaim() {
 // minimum). The generic measure path uses the float fields instead — a
 // running minimum per origin, because a measure value is not monotone in
 // contact order even though path lengths are.
+// Every slice field is carved from the query's arena: coveredA/minA at
+// discovery (length nq), the direction-B sets at capacity sizeB — a
+// contacted concept is by construction one of the document's concepts, so
+// the sorted insert below can never outgrow that capacity.
 type docState struct {
 	coveredA  []int32 // per query-origin min distance; -1 = not covered (Md)
 	nCoveredA int32
 	sumA      int64
-	// SDS direction B (M'd): covered candidate-document concepts.
-	coveredB map[ontology.ConceptID]int32
+	// SDS direction B (M'd): covered candidate-document concepts, sorted
+	// ascending. Only membership and the running sum matter — the
+	// first-contact depth folds into sumB and is never read back.
+	coveredB []ontology.ConceptID
 	sumB     int64
 	sizeB    int32 // |d|
 	// Generic measure mode: per-origin running minimum of the measure over
 	// contacted concepts (+Inf = origin not covered), its sum over covered
-	// origins, and the direction-B equivalents.
-	minA  []float64
-	sumAF float64
-	minB  map[ontology.ConceptID]float64
-	sumBF float64
+	// origins, and the direction-B equivalents (minBNodes sorted ascending,
+	// minBVals parallel to it).
+	minA      []float64
+	sumAF     float64
+	minBNodes []ontology.ConceptID
+	minBVals  []float64
+	sumBF     float64
 
 	examined bool
 	pruned   bool
@@ -283,16 +310,88 @@ const unset = int32(-1)
 // measure's LevelBound at the traversal depth (the floor the executor
 // passes in).
 type boundTable struct {
-	sds    bool
-	nq     int32
-	meas   measure.Measure      // nil on the default Rada path
-	q      []ontology.ConceptID // deduplicated query, for measure evaluation
-	states map[corpus.DocID]*docState
-	live   []corpus.DocID // discovered, not yet examined or pruned
+	sds  bool
+	nq   int32
+	meas measure.Measure      // nil on the default Rada path
+	q    []ontology.ConceptID // deduplicated query, for measure evaluation
+	ar   *queryArena
+	// states is dense, indexed by DocID over the plan's snapshot (and grown
+	// past it if a concurrently appended document surfaces in postings);
+	// nil = not discovered. all lists discovered documents in discovery
+	// order — the deterministic iteration surface the old map lacked.
+	states  []*docState
+	all     []corpus.DocID
+	live    []corpus.DocID // discovered, not yet examined or pruned
+	candBuf []cand         // wave-local candidate buffer, reused across waves
 }
 
-func newBoundTable(sds bool, nq int32, meas measure.Measure, q []ontology.ConceptID) *boundTable {
-	return &boundTable{sds: sds, nq: nq, meas: meas, q: q, states: make(map[corpus.DocID]*docState)}
+func newBoundTable(sds bool, nq int32, meas measure.Measure, q []ontology.ConceptID, ar *queryArena, totalDocs int) *boundTable {
+	return &boundTable{sds: sds, nq: nq, meas: meas, q: q, ar: ar, states: ar.ptrs.AllocN(totalDocs)}
+}
+
+// state returns doc's entry, nil if undiscovered.
+func (b *boundTable) state(doc corpus.DocID) *docState {
+	if int(doc) >= len(b.states) {
+		return nil
+	}
+	return b.states[doc]
+}
+
+// discover registers a fresh docState for doc, growing the dense table if
+// the document was appended after the plan snapshot.
+func (b *boundTable) discover(doc corpus.DocID, st *docState, m *Metrics) {
+	if n := int(doc) + 1; n > len(b.states) {
+		grown := make([]*docState, n+n/4)
+		copy(grown, b.states)
+		b.states = grown[:n]
+	}
+	b.states[doc] = st
+	b.all = append(b.all, doc)
+	b.live = append(b.live, doc)
+	m.DocsDiscovered++
+}
+
+// newDocState carves a docState with its direction-A coverage array from
+// the arena (direction B is carved by observe, which knows sizeB).
+func (b *boundTable) newDocState() *docState {
+	st := b.ar.docs.Alloc()
+	if b.meas != nil {
+		st.minA = b.ar.f64.AllocN(int(b.nq))
+		for i := range st.minA {
+			st.minA[i] = math.Inf(1)
+		}
+	} else {
+		st.coveredA = b.ar.i32.AllocN(int(b.nq))
+		for i := range st.coveredA {
+			st.coveredA[i] = unset
+		}
+	}
+	return st
+}
+
+// findConcept binary-searches a sorted concept slice, returning the
+// insertion index for c and whether c is already present.
+func findConcept(a []ontology.ConceptID, c ontology.ConceptID) (int, bool) {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(a) && a[lo] == c
+}
+
+// insertAt inserts v at index i of a sorted slice. The direction-B sets
+// are carved at capacity sizeB, so the append stays in arena storage.
+func insertAt[T any](a []T, i int, v T) []T {
+	var zero T
+	a = append(a, zero)
+	copy(a[i+1:], a[i:])
+	a[i] = v
+	return a
 }
 
 // observe records one BFS contact with doc. Coverage keeps accumulating
@@ -300,35 +399,27 @@ func newBoundTable(sds bool, nq int32, meas measure.Measure, q []ontology.Concep
 // decisions are unaffected, but growK can revive them with bounds as
 // tight as an un-pruned run's (examined documents are final and stop).
 func (b *boundTable) observe(e *Engine, doc corpus.DocID, s bfsState, m *Metrics) error {
-	st := b.states[doc]
+	st := b.state(doc)
 	if st == nil {
-		st = &docState{}
-		if b.meas != nil {
-			st.minA = make([]float64, b.nq)
-			for i := range st.minA {
-				st.minA[i] = math.Inf(1)
-			}
-		} else {
-			st.coveredA = make([]int32, b.nq)
-			for i := range st.coveredA {
-				st.coveredA[i] = unset
-			}
-		}
+		var sizeB int
 		if b.sds {
 			n, err := e.fwd.NumConcepts(doc)
 			if err != nil {
 				return fmt.Errorf("core: forward(%d): %w", doc, err)
 			}
-			st.sizeB = int32(n)
+			sizeB = n
+		}
+		st = b.newDocState()
+		if b.sds {
+			st.sizeB = int32(sizeB)
 			if b.meas != nil {
-				st.minB = make(map[ontology.ConceptID]float64)
+				st.minBNodes = b.ar.cids.AllocN(sizeB)[:0]
+				st.minBVals = b.ar.f64.AllocN(sizeB)[:0]
 			} else {
-				st.coveredB = make(map[ontology.ConceptID]int32)
+				st.coveredB = b.ar.cids.AllocN(sizeB)[:0]
 			}
 		}
-		b.states[doc] = st
-		b.live = append(b.live, doc)
-		m.DocsDiscovered++
+		b.discover(doc, st, m)
 	}
 	if st.examined {
 		return nil
@@ -343,8 +434,8 @@ func (b *boundTable) observe(e *Engine, doc corpus.DocID, s bfsState, m *Metrics
 		st.sumA += int64(s.depth)
 	}
 	if b.sds {
-		if _, ok := st.coveredB[s.node]; !ok {
-			st.coveredB[s.node] = s.depth
+		if i, ok := findConcept(st.coveredB, s.node); !ok {
+			st.coveredB = insertAt(st.coveredB, i, s.node)
 			st.sumB += int64(s.depth)
 		}
 	}
@@ -368,12 +459,13 @@ func (b *boundTable) observeMeasure(st *docState, s bfsState) {
 	}
 	if b.sds {
 		// The measure is symmetric, so the same value covers direction B.
-		if old, ok := st.minB[s.node]; !ok {
-			st.minB[s.node] = v
+		if i, ok := findConcept(st.minBNodes, s.node); !ok {
+			st.minBNodes = insertAt(st.minBNodes, i, s.node)
+			st.minBVals = insertAt(st.minBVals, i, v)
 			st.sumBF += v
-		} else if v < old {
-			st.minB[s.node] = v
-			st.sumBF += v - old
+		} else if v < st.minBVals[i] {
+			st.sumBF += v - st.minBVals[i]
+			st.minBVals[i] = v
 		}
 	}
 }
@@ -455,10 +547,10 @@ func (b *boundTable) lowerOfMeasure(st *docState, floor float64) float64 {
 	lb := termA / float64(b.nq)
 	if st.sizeB > 0 {
 		termB := 0.0
-		for _, v := range st.minB {
+		for _, v := range st.minBVals {
 			termB += math.Min(v, floor)
 		}
-		if uncoveredB := float64(int(st.sizeB) - len(st.minB)); uncoveredB > 0 {
+		if uncoveredB := float64(int(st.sizeB) - len(st.minBVals)); uncoveredB > 0 {
 			termB += uncoveredB * floor
 		}
 		lb += termB / float64(st.sizeB)
@@ -469,7 +561,7 @@ func (b *boundTable) lowerOfMeasure(st *docState, floor float64) float64 {
 // undiscoveredLB bounds any document the traversal has not touched yet;
 // floor has the same meaning as in lowerOf.
 func (b *boundTable) undiscoveredLB(floor float64, totalDocs int) float64 {
-	if len(b.states) >= totalDocs {
+	if len(b.all) >= totalDocs {
 		return math.Inf(1)
 	}
 	if !b.sds {
@@ -481,7 +573,7 @@ func (b *boundTable) undiscoveredLB(floor float64, totalDocs int) float64 {
 // candidates compacts the live list and returns the unexamined, unpruned
 // candidates in commit order (lower bound, then doc ID).
 func (b *boundTable) candidates(floor float64) []cand {
-	cands := make([]cand, 0, len(b.live))
+	cands := b.candBuf[:0]
 	compacted := b.live[:0]
 	for _, doc := range b.live {
 		st := b.states[doc]
@@ -492,13 +584,22 @@ func (b *boundTable) candidates(floor float64) []cand {
 		cands = append(cands, cand{doc: doc, st: st, lb: b.lowerOf(st, floor), partial: b.partialOf(st)})
 	}
 	b.live = compacted
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].lb != cands[j].lb {
-			return cands[i].lb < cands[j].lb
-		}
-		return cands[i].doc < cands[j].doc
-	})
+	b.candBuf = cands[:0]
+	sort.Sort(candSorter(cands))
 	return cands
+}
+
+// candSorter orders candidates by (lower bound, doc ID) without the
+// per-wave closure allocation of sort.Slice.
+type candSorter []cand
+
+func (c candSorter) Len() int      { return len(c) }
+func (c candSorter) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c candSorter) Less(i, j int) bool {
+	if c[i].lb != c[j].lb {
+		return c[i].lb < c[j].lb
+	}
+	return c[i].doc < c[j].doc
 }
 
 // revivePruned clears every prune mark and rebuilds the live list from
@@ -508,7 +609,8 @@ func (b *boundTable) candidates(floor float64) []cand {
 // epoch.
 func (b *boundTable) revivePruned() {
 	b.live = b.live[:0]
-	for doc, st := range b.states {
+	for _, doc := range b.all {
+		st := b.states[doc]
 		st.pruned = false
 		if !st.examined {
 			b.live = append(b.live, doc)
@@ -528,6 +630,10 @@ type executor struct {
 	bt   *boundTable
 	coll *collector
 	spec *speculator
+	// ar backs all per-query state above; acquired from the engine's pool
+	// at plan time, released on close (a cursor's arena survives GrowK and
+	// Next — its lifetime is the cursor's).
+	ar *queryArena
 
 	wave       int // global wave index for trace events
 	epochWaves int // waves in the current termination epoch (growK resets)
@@ -589,14 +695,16 @@ func (e *Engine) newExecutor(sds bool, rawQuery []ontology.ConceptID, opts Optio
 			seeded[i] = true
 		}
 	}
+	ar := e.acquireArena()
 	x := &executor{
 		e:    e,
 		p:    p,
 		m:    m,
 		tr:   tr,
 		smp:  smp,
-		step: newWaveStepper(e.o, p.q, opts.DedupVisits, seeded),
-		bt:   newBoundTable(sds, p.nq, p.meas, p.q),
+		ar:   ar,
+		step: newWaveStepper(e.o, p.q, opts.DedupVisits, seeded, ar),
+		bt:   newBoundTable(sds, p.nq, p.meas, p.q, ar, p.totalDocs),
 		coll: newCollector(opts.K),
 		spec: newSpeculator(e, sds, p.prep, p.nq, opts, p.policy, m),
 		// Each BFS depth level yields at most two waves (one if the queue
@@ -799,9 +907,9 @@ func (x *executor) traverse(forced *bool) error {
 	x.tr.emit(TraceEvent{Kind: TraceWaveEnd, Wave: x.wave, Depth: int(waveDepth), N: int(x.m.NodesVisited - popBase)})
 	if x.p.opts.OnWave != nil {
 		info := WaveInfo{Depth: int(waveDepth), Visited: waveVisited,
-			CoveredDist: make(map[corpus.DocID][]int32, len(x.bt.states))}
-		for doc, st := range x.bt.states {
-			if !st.examined && !st.pruned {
+			CoveredDist: make(map[corpus.DocID][]int32, len(x.bt.all))}
+		for _, doc := range x.bt.all {
+			if st := x.bt.states[doc]; !st.examined && !st.pruned {
 				info.CoveredDist[doc] = st.coveredA
 			}
 		}
@@ -863,9 +971,9 @@ func (x *executor) examine(doc corpus.DocID, st *docState) error {
 		case x.p.opts.UseBL:
 			dist = x.p.bl.DocQuery(concepts, x.p.q)
 		case x.p.sds:
-			dist, err = x.p.prep.DocDoc(concepts)
+			dist, err = x.p.prep.DocDocScratch(concepts, &x.ar.scr)
 		default:
-			dist, err = x.p.prep.DocQuery(concepts)
+			dist, err = x.p.prep.DocQueryScratch(concepts, &x.ar.scr)
 		}
 		x.m.DistanceTime += time.Since(t0)
 		if err != nil {
@@ -908,7 +1016,14 @@ func (x *executor) growK(k int) {
 	x.done = false
 }
 
-// close releases the speculation pool. The executor must not run again.
+// close releases the speculation pool and returns the query's arena to
+// the engine for reuse. The executor must not run again: every docState,
+// coverage array and visited page it held is recycled storage now.
 func (x *executor) close() {
 	x.spec.close()
+	if x.ar != nil {
+		x.ar.queueBuf = x.step.queue[:0]
+		x.e.releaseArena(x.ar, x.p.opts.ArenaRetainBytes)
+		x.ar = nil
+	}
 }

@@ -257,15 +257,10 @@ func (b *boundTable) injectSeed(origin int32, docs []cache.DocDist, totalDocs in
 		if int(dd.Doc) >= totalDocs {
 			break // ascending by Doc
 		}
-		st := b.states[dd.Doc]
+		st := b.state(dd.Doc)
 		if st == nil {
-			st = &docState{coveredA: make([]int32, b.nq)}
-			for j := range st.coveredA {
-				st.coveredA[j] = unset
-			}
-			b.states[dd.Doc] = st
-			b.live = append(b.live, dd.Doc)
-			m.DocsDiscovered++
+			st = b.newDocState() // RDS only: no direction-B set to carve
+			b.discover(dd.Doc, st, m)
 		}
 		if st.coveredA[origin] == unset {
 			st.coveredA[origin] = dd.Dist

@@ -1,0 +1,46 @@
+package distance
+
+import (
+	"testing"
+
+	"conceptrank/internal/ontology"
+)
+
+// The epoch-stamped kernel must not allocate in the steady state: the
+// stamp/dist/queue scratch is pooled and reused, so after a warm-up call
+// every ConceptDistance is pure array traversal. This is the guard the
+// arena refactor's exam-stage numbers rest on.
+func TestConceptDistanceAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime makes sync.Pool drop items; alloc counts are meaningless")
+	}
+	pf := ontology.NewPaperFig()
+	a, b := pf.Concept("G"), pf.Concept("F")
+	if got := ConceptDistance(pf.O, a, b); got != 5 {
+		t.Fatalf("warm-up D(G,F) = %d, want 5", got)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := ConceptDistance(pf.O, a, b); got != 5 {
+			t.Fatalf("D(G,F) = %d, want 5", got)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ConceptDistance allocates %.1f objects/call in steady state, want 0", allocs)
+	}
+}
+
+// ConceptDistanceSets over prebuilt closures must be allocation-free too —
+// it is the inner loop of the BL baseline.
+func TestConceptDistanceSetsAllocFree(t *testing.T) {
+	pf := ontology.NewPaperFig()
+	ua := ComputeUpSet(pf.O, pf.Concept("G"))
+	ub := ComputeUpSet(pf.O, pf.Concept("F"))
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := ConceptDistanceSets(ua, ub); got != 5 {
+			t.Fatalf("sets D(G,F) = %d, want 5", got)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ConceptDistanceSets allocates %.1f objects/call, want 0", allocs)
+	}
+}

@@ -13,10 +13,18 @@
 // These implementations are deliberately simple; they are the ground truth
 // the DRC and kNDS test suites verify against, and the baseline the
 // benchmark harness measures against.
+//
+// The kernel is allocation-free in the steady state: ancestor BFS runs over
+// epoch-stamped dense arrays (a generation stamp per concept makes "clear
+// the visited set" a single counter increment instead of an O(n) wipe) and
+// materialized ancestor sets are flat sorted arrays (UpSet) intersected by
+// two-pointer merge, not maps.
 package distance
 
 import (
 	"math"
+	"sort"
+	"sync"
 
 	"conceptrank/internal/ontology"
 )
@@ -25,49 +33,175 @@ import (
 // ontology, but callers may pass concept sets from different ontologies).
 const Infinite = math.MaxInt32
 
-// UpMap maps each ancestor of a concept (including the concept itself) to
-// the minimum number of is-a edges leading up to it.
-type UpMap map[ontology.ConceptID]int32
+// UpSet is the flat-array form of a concept's ancestor closure: Nodes lists
+// the concept and every ancestor in ascending ConceptID order, and Dists is
+// parallel to Nodes with the minimum number of up edges to each. Two UpSets
+// intersect by two-pointer merge in O(|a|+|b|) with no hashing.
+type UpSet struct {
+	Nodes []ontology.ConceptID
+	Dists []int32
+}
 
-// ComputeUpMap runs an upward BFS from c over parent edges and returns the
-// minimal up-distance to every ancestor. The shortest valid path between
-// ci and cj is min over common ancestors a of up(ci,a) + up(cj,a).
-func ComputeUpMap(o *ontology.Ontology, c ontology.ConceptID) UpMap {
-	m := UpMap{c: 0}
-	frontier := []ontology.ConceptID{c}
-	for d := int32(1); len(frontier) > 0; d++ {
-		var next []ontology.ConceptID
-		for _, n := range frontier {
-			for _, p := range o.Parents(n) {
-				if _, seen := m[p]; !seen {
-					m[p] = d
-					next = append(next, p)
+// Len returns the number of ancestors, including the concept itself.
+func (u UpSet) Len() int { return len(u.Nodes) }
+
+// Dist returns the up-distance to ancestor a, or Infinite if a is not an
+// ancestor, by binary search.
+func (u UpSet) Dist(a ontology.ConceptID) int32 {
+	i := sort.Search(len(u.Nodes), func(i int) bool { return u.Nodes[i] >= a })
+	if i < len(u.Nodes) && u.Nodes[i] == a {
+		return u.Dists[i]
+	}
+	return Infinite
+}
+
+// scratch is the pooled per-call BFS state of the distance kernel. stamp and
+// dist are dense, indexed by ConceptID; an entry is valid only when its
+// stamp equals the current generation, so successive calls reuse the arrays
+// without clearing them.
+type scratch struct {
+	stamp1 []uint32 // up-BFS from the first concept
+	dist1  []int32
+	stamp2 []uint32 // up-BFS from the second concept
+	queue  []ontology.ConceptID
+	gen    uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func getScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if len(s.stamp1) < n {
+		s.stamp1 = make([]uint32, n)
+		s.dist1 = make([]int32, n)
+		s.stamp2 = make([]uint32, n)
+		s.gen = 0
+	}
+	// On generation wraparound, stale stamps could alias the new generation;
+	// wipe once every 2^32 calls.
+	s.gen++
+	if s.gen == 0 {
+		clear(s.stamp1)
+		clear(s.stamp2)
+		s.gen = 1
+	}
+	return s
+}
+
+// upBFS runs the upward BFS from c, stamping stamp[x]=s.gen for every
+// ancestor x. When dist is non-nil it records the up-distance per ancestor.
+// The visit order (and therefore s.queue's contents, which callers may
+// consume) is breadth-first with parents in CSR order.
+func (s *scratch) upBFS(o *ontology.Ontology, c ontology.ConceptID, stamp []uint32, dist []int32) {
+	q := append(s.queue[:0], c)
+	stamp[c] = s.gen
+	if dist != nil {
+		dist[c] = 0
+	}
+	for i := 0; i < len(q); i++ {
+		n := q[i]
+		var dn int32
+		if dist != nil {
+			dn = dist[n]
+		}
+		for _, p := range o.Parents(n) {
+			if stamp[p] != s.gen {
+				stamp[p] = s.gen
+				if dist != nil {
+					dist[p] = dn + 1
 				}
+				q = append(q, p)
 			}
 		}
-		frontier = next
 	}
-	return m
+	s.queue = q
+}
+
+// ComputeUpSet returns the ancestor closure of c as a flat sorted UpSet.
+// The BFS itself is allocation-free (pooled dense scratch); the returned
+// arrays are the only allocations.
+func ComputeUpSet(o *ontology.Ontology, c ontology.ConceptID) UpSet {
+	s := getScratch(o.NumConcepts())
+	s.upBFS(o, c, s.stamp1, s.dist1)
+	u := UpSet{
+		Nodes: make([]ontology.ConceptID, len(s.queue)),
+		Dists: make([]int32, len(s.queue)),
+	}
+	copy(u.Nodes, s.queue)
+	sort.Slice(u.Nodes, func(i, j int) bool { return u.Nodes[i] < u.Nodes[j] })
+	for i, n := range u.Nodes {
+		u.Dists[i] = s.dist1[n]
+	}
+	scratchPool.Put(s)
+	return u
 }
 
 // ConceptDistance returns the shortest valid path distance D(ci,cj),
-// Infinite if the concepts share no ancestor. It is symmetric and zero iff
-// ci == cj.
+// Infinite if the concepts share no ancestor. It is symmetric, zero iff
+// ci == cj, and allocation-free in the steady state: two epoch-stamped
+// BFS passes, with the second scanning the first's marks in place of an
+// ancestor-set intersection.
 func ConceptDistance(o *ontology.Ontology, ci, cj ontology.ConceptID) int {
-	return ConceptDistanceMaps(ComputeUpMap(o, ci), ComputeUpMap(o, cj))
+	if ci == cj {
+		return 0
+	}
+	s := getScratch(o.NumConcepts())
+	s.upBFS(o, ci, s.stamp1, s.dist1)
+	// BFS up from cj; every node also stamped by the first pass is a common
+	// ancestor, contributing up(ci,a) + up(cj,a).
+	best := int32(math.MaxInt32)
+	q := append(s.queue[:0], cj)
+	s.stamp2[cj] = s.gen
+	var depth int32
+	for lo := 0; lo < len(q); {
+		hi := len(q)
+		for i := lo; i < hi; i++ {
+			n := q[i]
+			if s.stamp1[n] == s.gen {
+				if d := depth + s.dist1[n]; d < best {
+					best = d
+				}
+			}
+			for _, p := range o.Parents(n) {
+				if s.stamp2[p] != s.gen {
+					s.stamp2[p] = s.gen
+					q = append(q, p)
+				}
+			}
+		}
+		lo = hi
+		depth++
+		// Any common ancestor found at a deeper level costs at least depth;
+		// once that cannot beat the best sum, stop.
+		if depth >= best {
+			break
+		}
+	}
+	s.queue = q
+	scratchPool.Put(s)
+	if best == math.MaxInt32 {
+		return Infinite
+	}
+	return int(best)
 }
 
-// ConceptDistanceMaps combines two precomputed up-maps. Iterating over the
-// smaller map keeps the intersection cost proportional to the smaller
-// ancestor set.
-func ConceptDistanceMaps(a, b UpMap) int {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
+// ConceptDistanceSets combines two precomputed ancestor closures by
+// two-pointer merge over the sorted node arrays.
+func ConceptDistanceSets(a, b UpSet) int {
 	best := int32(math.MaxInt32)
-	for anc, da := range a {
-		if db, ok := b[anc]; ok && da+db < best {
-			best = da + db
+	i, j := 0, 0
+	for i < len(a.Nodes) && j < len(b.Nodes) {
+		switch {
+		case a.Nodes[i] < b.Nodes[j]:
+			i++
+		case a.Nodes[i] > b.Nodes[j]:
+			j++
+		default:
+			if d := a.Dists[i] + b.Dists[j]; d < best {
+				best = d
+			}
+			i++
+			j++
 		}
 	}
 	if best == math.MaxInt32 {
@@ -76,37 +210,37 @@ func ConceptDistanceMaps(a, b UpMap) int {
 	return int(best)
 }
 
-// Cache memoizes up-maps per concept. The BL baseline computes every
-// pairwise concept distance of a document pair; without memoization each
-// pair would redo two BFS traversals. Not safe for concurrent use.
+// Cache memoizes ancestor closures per concept. The BL baseline computes
+// every pairwise concept distance of a document pair; without memoization
+// each pair would redo two BFS traversals. Not safe for concurrent use.
 type Cache struct {
 	o       *ontology.Ontology
-	maps    map[ontology.ConceptID]UpMap
+	sets    map[ontology.ConceptID]UpSet
 	maxSize int
 }
 
-// NewCache creates a Cache holding at most maxSize up-maps (0 = unbounded).
+// NewCache creates a Cache holding at most maxSize closures (0 = unbounded).
 func NewCache(o *ontology.Ontology, maxSize int) *Cache {
-	return &Cache{o: o, maps: make(map[ontology.ConceptID]UpMap), maxSize: maxSize}
+	return &Cache{o: o, sets: make(map[ontology.ConceptID]UpSet), maxSize: maxSize}
 }
 
-// UpMap returns the memoized up-map of c.
-func (c *Cache) UpMap(id ontology.ConceptID) UpMap {
-	if m, ok := c.maps[id]; ok {
-		return m
+// UpSet returns the memoized ancestor closure of c.
+func (c *Cache) UpSet(id ontology.ConceptID) UpSet {
+	if u, ok := c.sets[id]; ok {
+		return u
 	}
-	m := ComputeUpMap(c.o, id)
-	if c.maxSize > 0 && len(c.maps) >= c.maxSize {
+	u := ComputeUpSet(c.o, id)
+	if c.maxSize > 0 && len(c.sets) >= c.maxSize {
 		// Simple random-ish eviction: drop one arbitrary entry. The access
 		// pattern of BL (documents scanned once) has little reuse locality,
 		// so LRU buys nothing over this.
-		for k := range c.maps {
-			delete(c.maps, k)
+		for k := range c.sets {
+			delete(c.sets, k)
 			break
 		}
 	}
-	c.maps[id] = m
-	return m
+	c.sets[id] = u
+	return u
 }
 
 // Distance returns the concept-concept distance using the cache.
@@ -114,7 +248,7 @@ func (c *Cache) Distance(ci, cj ontology.ConceptID) int {
 	if ci == cj {
 		return 0
 	}
-	return ConceptDistanceMaps(c.UpMap(ci), c.UpMap(cj))
+	return ConceptDistanceSets(c.UpSet(ci), c.UpSet(cj))
 }
 
 // BL is the baseline document-distance calculator of Section 4.1: it
@@ -124,7 +258,7 @@ type BL struct {
 	cache *Cache
 }
 
-// NewBL returns a baseline calculator over o. cacheSize bounds the up-map
+// NewBL returns a baseline calculator over o. cacheSize bounds the closure
 // cache (0 = unbounded).
 func NewBL(o *ontology.Ontology, cacheSize int) *BL {
 	return &BL{cache: NewCache(o, cacheSize)}
@@ -133,12 +267,12 @@ func NewBL(o *ontology.Ontology, cacheSize int) *BL {
 // DocConcept evaluates Ddc(d, c) = min_{ci in d} D(ci, c) (Eq. 1).
 func (b *BL) DocConcept(d []ontology.ConceptID, c ontology.ConceptID) int {
 	best := Infinite
-	cm := b.cache.UpMap(c)
+	cm := b.cache.UpSet(c)
 	for _, ci := range d {
 		if ci == c {
 			return 0
 		}
-		if dist := ConceptDistanceMaps(b.cache.UpMap(ci), cm); dist < best {
+		if dist := ConceptDistanceSets(b.cache.UpSet(ci), cm); dist < best {
 			best = dist
 		}
 	}

@@ -53,19 +53,29 @@ func TestConceptDistancePaperExamples(t *testing.T) {
 	}
 }
 
-func TestUpMapPaperFig(t *testing.T) {
+func TestUpSetPaperFig(t *testing.T) {
 	pf := paperFig(t)
-	m := ComputeUpMap(pf.O, pf.Concept("R"))
+	u := ComputeUpSet(pf.O, pf.Concept("R"))
 	want := map[string]int32{
 		"R": 0, "K": 1, "J": 2, "G": 3, "F": 3, "E": 4, "D": 4, "B": 5, "A": 5,
 	}
-	if len(m) != len(want) {
-		t.Fatalf("up-map has %d entries, want %d: %v", len(m), len(want), m)
+	if u.Len() != len(want) {
+		t.Fatalf("up-set has %d entries, want %d: %v", u.Len(), len(want), u)
 	}
 	for letter, d := range want {
-		if got := m[pf.Concept(letter)]; got != d {
+		if got := u.Dist(pf.Concept(letter)); got != d {
 			t.Errorf("up(R,%s) = %d, want %d", letter, got, d)
 		}
+	}
+	// Nodes must be sorted: ConceptDistanceSets merges by two pointers.
+	for i := 1; i < len(u.Nodes); i++ {
+		if u.Nodes[i-1] >= u.Nodes[i] {
+			t.Fatalf("UpSet.Nodes not strictly ascending at %d: %v", i, u.Nodes)
+		}
+	}
+	// Non-ancestor lookup.
+	if got := u.Dist(pf.Concept("V")); got != Infinite {
+		t.Errorf("up(R,V) = %d, want Infinite", got)
 	}
 }
 
@@ -250,8 +260,8 @@ func TestCacheEviction(t *testing.T) {
 			}
 		}
 	}
-	if len(c.maps) > 2 {
-		t.Errorf("cache grew to %d entries, cap is 2", len(c.maps))
+	if len(c.sets) > 2 {
+		t.Errorf("cache grew to %d entries, cap is 2", len(c.sets))
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build !race
+
+package distance
+
+// raceEnabled reports whether the race detector is active. The race
+// runtime makes sync.Pool intentionally drop items to widen interleaving
+// coverage, so steady-state allocation counts are only meaningful
+// without it.
+const raceEnabled = false

@@ -29,20 +29,27 @@ import (
 // determinism). ok is false only if the concepts share no ancestor, which
 // cannot happen in a single-rooted ontology.
 func LCS(o *ontology.Ontology, a, b ontology.ConceptID) (ontology.ConceptID, bool) {
-	ma := distance.ComputeUpMap(o, a)
-	mb := distance.ComputeUpMap(o, b)
-	if len(mb) < len(ma) {
-		ma, mb = mb, ma
-	}
+	ua := distance.ComputeUpSet(o, a)
+	ub := distance.ComputeUpSet(o, b)
 	best := ontology.Invalid
 	bestDepth := -1
-	for anc := range ma {
-		if _, ok := mb[anc]; !ok {
-			continue
-		}
-		d := o.Depth(anc)
-		if d > bestDepth || (d == bestDepth && anc < best) {
-			best, bestDepth = anc, d
+	// Two-pointer merge over the sorted closures: common ancestors arrive in
+	// ascending ConceptID order, so the first concept at the winning depth is
+	// also the smallest — the documented tie-break.
+	i, j := 0, 0
+	for i < len(ua.Nodes) && j < len(ub.Nodes) {
+		switch {
+		case ua.Nodes[i] < ub.Nodes[j]:
+			i++
+		case ua.Nodes[i] > ub.Nodes[j]:
+			j++
+		default:
+			anc := ua.Nodes[i]
+			if d := o.Depth(anc); d > bestDepth {
+				best, bestDepth = anc, d
+			}
+			i++
+			j++
 		}
 	}
 	return best, best != ontology.Invalid
@@ -94,21 +101,14 @@ func ComputeIC(o *ontology.Ontology, coll *corpus.Collection) *ICTable {
 	n := o.NumConcepts()
 	counts := make([]float64, n)
 	total := 0.0
+	var anc []ontology.ConceptID
 	for cc, f := range coll.ConceptFrequencies() {
 		total += float64(f)
-		// Add f to cc and every ancestor, each exactly once.
-		seen := map[ontology.ConceptID]struct{}{cc: {}}
-		stack := []ontology.ConceptID{cc}
-		for len(stack) > 0 {
-			cur := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+		// Add f to cc and every distinct ancestor, each exactly once, via
+		// the ontology's flat ancestor enumeration (no per-concept set).
+		anc = o.AncestorsInto(cc, anc[:0])
+		for _, cur := range anc {
 			counts[cur] += float64(f)
-			for _, p := range o.Parents(cur) {
-				if _, ok := seen[p]; !ok {
-					seen[p] = struct{}{}
-					stack = append(stack, p)
-				}
-			}
 		}
 	}
 	// Laplace smoothing: every concept gets +1 so unseen concepts have
@@ -129,15 +129,22 @@ func (t *ICTable) IC(c ontology.ConceptID) float64 { return t.ic[c] }
 // can differ from IC(LCS): the deepest common ancestor is not necessarily
 // the most informative one.
 func (t *ICTable) mostInformativeSubsumer(o *ontology.Ontology, a, b ontology.ConceptID) float64 {
-	ma := distance.ComputeUpMap(o, a)
-	mb := distance.ComputeUpMap(o, b)
-	if len(mb) < len(ma) {
-		ma, mb = mb, ma
-	}
+	ua := distance.ComputeUpSet(o, a)
+	ub := distance.ComputeUpSet(o, b)
 	best := 0.0
-	for anc := range ma {
-		if _, ok := mb[anc]; ok && t.ic[anc] > best {
-			best = t.ic[anc]
+	i, j := 0, 0
+	for i < len(ua.Nodes) && j < len(ub.Nodes) {
+		switch {
+		case ua.Nodes[i] < ub.Nodes[j]:
+			i++
+		case ua.Nodes[i] > ub.Nodes[j]:
+			j++
+		default:
+			if ic := t.ic[ua.Nodes[i]]; ic > best {
+				best = ic
+			}
+			i++
+			j++
 		}
 	}
 	return best

@@ -128,15 +128,40 @@ func (b *Builder) Finalize() (*Ontology, error) {
 		return nil, ErrCycle
 	}
 
+	// Flatten the builder's slice-of-slices adjacency into CSR form: one
+	// contiguous backing array plus an n+1 offset table per relation.
+	nEdges := 0
+	for id := 0; id < n; id++ {
+		nEdges += len(b.children[id])
+	}
 	o := &Ontology{
-		names:       b.names,
-		synonyms:    b.synonyms,
-		root:        0,
-		children:    b.children,
-		parents:     b.parents,
-		parentDigit: b.digits,
-		topo:        topo,
-		depth:       make([]int32, n),
+		names:     b.names,
+		synonyms:  b.synonyms,
+		root:      0,
+		childArr:  make([]ConceptID, 0, nEdges),
+		childOff:  make([]int32, n+1),
+		parentArr: make([]ConceptID, 0, nEdges),
+		parentDig: make([]dewey.Component, 0, nEdges),
+		parentOff: make([]int32, n+1),
+		topo:      topo,
+		topoPos:   make([]int32, n),
+		depth:     make([]int32, n),
+	}
+	for id := 0; id < n; id++ {
+		o.childArr = append(o.childArr, b.children[id]...)
+		o.childOff[id+1] = int32(len(o.childArr))
+		o.parentArr = append(o.parentArr, b.parents[id]...)
+		o.parentDig = append(o.parentDig, b.digits[id]...)
+		o.parentOff[id+1] = int32(len(o.parentArr))
+	}
+	for i, c := range topo {
+		o.topoPos[c] = int32(i)
+	}
+	o.scratch.New = func() any {
+		return &ontScratch{
+			seen:   make([]bool, n),
+			counts: make([]int64, n),
+		}
 	}
 	// Minimum depth via the topological order (all parents precede children).
 	for _, c := range topo {
@@ -145,7 +170,7 @@ func (b *Builder) Finalize() (*Ontology, error) {
 			continue
 		}
 		best := int32(1<<31 - 1)
-		for _, p := range o.parents[c] {
+		for _, p := range o.Parents(c) {
 			if d := o.depth[p] + 1; d < best {
 				best = d
 			}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"conceptrank/internal/dewey"
@@ -31,23 +32,34 @@ const Invalid ConceptID = math.MaxUint32
 // Ontology is an immutable rooted DAG of concepts. Construct one with a
 // Builder (or a generator such as internal/ontogen) and treat it as
 // read-only afterwards; all methods are safe for concurrent use.
+//
+// Adjacency is stored in CSR (compressed sparse row) form: one contiguous
+// backing array per relation plus an n+1-entry offset table, so traversal
+// touches two flat arrays instead of a slice-of-slices, and the per-node
+// accessors are subslice views with no per-call allocation. At the paper's
+// SNOMED-CT scale (296K concepts, ~440K edges) this removes ~600K slice
+// headers and collapses the adjacency into a handful of GC-opaque arrays.
 type Ontology struct {
 	names    []string   // primary term per concept
 	synonyms [][]string // additional terms per concept (may be nil)
 
 	root ConceptID
 
-	// children[c] lists c's children in Dewey order: children[c][j] has
-	// Dewey component j+1 under c.
-	children [][]ConceptID
-	// parents[c] lists c's parents; parentDigit[c][i] is the 1-based Dewey
-	// component of c under parents[c][i], so path enumeration does not have
-	// to rescan the parent's child list.
-	parents     [][]ConceptID
-	parentDigit [][]dewey.Component
+	// CSR child relation: childArr[childOff[c]:childOff[c+1]] lists c's
+	// children in Dewey order (the j-th entry has Dewey component j+1).
+	childArr []ConceptID
+	childOff []int32
+	// CSR parent relation: parentArr[parentOff[c]:parentOff[c+1]] lists c's
+	// parents; parentDig is parallel to parentArr and holds the 1-based
+	// Dewey component of c under that parent, so path enumeration does not
+	// have to rescan the parent's child list.
+	parentArr []ConceptID
+	parentDig []dewey.Component
+	parentOff []int32
 
-	depth []int32 // minimum edge distance from the root
-	topo  []ConceptID
+	depth   []int32 // minimum edge distance from the root
+	topo    []ConceptID
+	topoPos []int32 // inverse of topo: topoPos[topo[i]] == i
 
 	// termOnce guards the lazily built term → concept index behind
 	// LookupTerm; the Ontology stays effectively immutable (the index is
@@ -55,6 +67,30 @@ type Ontology struct {
 	// are safe.
 	termOnce sync.Once
 	termIdx  map[string]ConceptID
+
+	// scratch recycles the per-call traversal state (visited marks, BFS
+	// queue, path counts) used by AncestorsInto, IsAncestor and
+	// NumPathAddresses, keeping those methods allocation-free in the steady
+	// state while staying safe for concurrent use.
+	scratch sync.Pool
+}
+
+// ontScratch is the pooled per-traversal state. seen and counts are dense,
+// indexed by ConceptID, and are un-marked by walking the visited list after
+// each use, so a pooled scratch is clean O(|visited|) rather than O(n).
+type ontScratch struct {
+	seen   []bool
+	anc    []ConceptID
+	counts []int64
+}
+
+func (o *Ontology) getScratch() *ontScratch {
+	s := o.scratch.Get().(*ontScratch)
+	if len(s.seen) < o.NumConcepts() {
+		s.seen = make([]bool, o.NumConcepts())
+		s.counts = make([]int64, o.NumConcepts())
+	}
+	return s
 }
 
 // Errors reported by Builder.Finalize and ReadFrom.
@@ -104,13 +140,23 @@ func (o *Ontology) buildTermIndex() {
 	o.termIdx = idx
 }
 
-// Children returns c's children in Dewey order. The slice is owned by the
-// ontology and must not be modified.
-func (o *Ontology) Children(c ConceptID) []ConceptID { return o.children[c] }
+// Children returns c's children in Dewey order. The slice is a view into the
+// ontology's CSR storage and must not be modified.
+func (o *Ontology) Children(c ConceptID) []ConceptID {
+	return o.childArr[o.childOff[c]:o.childOff[c+1]]
+}
 
-// Parents returns c's parents. The slice is owned by the ontology and must
-// not be modified.
-func (o *Ontology) Parents(c ConceptID) []ConceptID { return o.parents[c] }
+// Parents returns c's parents. The slice is a view into the ontology's CSR
+// storage and must not be modified.
+func (o *Ontology) Parents(c ConceptID) []ConceptID {
+	return o.parentArr[o.parentOff[c]:o.parentOff[c+1]]
+}
+
+// parentDigits returns, parallel to Parents(c), the 1-based Dewey component
+// of c under each parent.
+func (o *Ontology) parentDigits(c ConceptID) []dewey.Component {
+	return o.parentDig[o.parentOff[c]:o.parentOff[c+1]]
+}
 
 // Depth returns the minimum number of is-a edges between the root and c.
 // The paper's experiments exclude concepts shallower than a depth threshold
@@ -129,13 +175,7 @@ func (o *Ontology) MaxDepth() int {
 }
 
 // NumEdges returns the number of is-a edges.
-func (o *Ontology) NumEdges() int {
-	n := 0
-	for _, ch := range o.children {
-		n += len(ch)
-	}
-	return n
-}
+func (o *Ontology) NumEdges() int { return len(o.childArr) }
 
 // TopoOrder returns the concepts in a topological order (parents before
 // children). The slice is owned by the ontology and must not be modified.
@@ -144,9 +184,11 @@ func (o *Ontology) TopoOrder() []ConceptID { return o.topo }
 // ChildDigit returns the 1-based Dewey component of child under parent, and
 // false if child is not a child of parent.
 func (o *Ontology) ChildDigit(parent, child ConceptID) (dewey.Component, bool) {
-	for i, p := range o.parents[child] {
+	ps := o.Parents(child)
+	dg := o.parentDigits(child)
+	for i, p := range ps {
 		if p == parent {
-			return o.parentDigit[child][i], true
+			return dg[i], true
 		}
 	}
 	return 0, false
@@ -185,57 +227,90 @@ func (o *Ontology) PathAddressesLimit(c ConceptID, limit int) []dewey.Path {
 			}
 			continue
 		}
-		for i, parent := range o.parents[f.node] {
+		ps := o.Parents(f.node)
+		dg := o.parentDigits(f.node)
+		for i, parent := range ps {
 			suffix := make(dewey.Path, len(f.suffix)+1)
 			copy(suffix, f.suffix)
-			suffix[len(f.suffix)] = o.parentDigit[f.node][i]
+			suffix[len(f.suffix)] = dg[i]
 			stack = append(stack, frame{node: parent, suffix: suffix})
 		}
 	}
 	return out
 }
 
-// NumPathAddresses counts the Dewey addresses of c without materializing
-// them. Counts are computed on demand with memoization-free dynamic
-// programming over ancestors, so the call is linear in the ancestor
-// subgraph.
-func (o *Ontology) NumPathAddresses(c ConceptID) int {
-	// counts[x] = number of root->x paths, computed lazily over the
-	// ancestors of c in topological order.
-	anc := o.ancestorsSet(c)
-	counts := make(map[ConceptID]int, len(anc))
-	for _, n := range o.topo {
-		if _, ok := anc[n]; !ok {
-			continue
-		}
-		if n == o.root {
-			counts[n] = 1
-			continue
-		}
-		total := 0
-		for _, p := range o.parents[n] {
-			total += counts[p]
-		}
-		counts[n] = total
-	}
-	return counts[c]
-}
-
-// ancestorsSet returns c and all its ancestors.
-func (o *Ontology) ancestorsSet(c ConceptID) map[ConceptID]struct{} {
-	set := map[ConceptID]struct{}{c: {}}
-	stack := []ConceptID{c}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range o.parents[n] {
-			if _, ok := set[p]; !ok {
-				set[p] = struct{}{}
-				stack = append(stack, p)
+// AncestorsInto appends c and all its ancestors to buf and returns the
+// extended slice, in BFS discovery order starting at c. It performs no heap
+// allocation beyond growing buf: the visited set is a pooled dense mark
+// array and the output slice doubles as the BFS queue. Pass buf[:0] of a
+// reused slice for an allocation-free steady state.
+func (o *Ontology) AncestorsInto(c ConceptID, buf []ConceptID) []ConceptID {
+	s := o.getScratch()
+	start := len(buf)
+	buf = append(buf, c)
+	s.seen[c] = true
+	for i := start; i < len(buf); i++ {
+		for _, p := range o.Parents(buf[i]) {
+			if !s.seen[p] {
+				s.seen[p] = true
+				buf = append(buf, p)
 			}
 		}
 	}
-	return set
+	for _, x := range buf[start:] {
+		s.seen[x] = false
+	}
+	o.scratch.Put(s)
+	return buf
+}
+
+// NumPathAddresses counts the Dewey addresses of c without materializing
+// them: a dynamic program over c's ancestor subgraph in topological order,
+// linear in the number of ancestor edges and allocation-free in the steady
+// state (pooled dense scratch).
+func (o *Ontology) NumPathAddresses(c ConceptID) int {
+	s := o.getScratch()
+	anc := o.ancestorsScratch(s, c)
+	// Sweep ancestors in topological order so every parent's count is final
+	// before its children read it.
+	sort.Slice(anc, func(i, j int) bool { return o.topoPos[anc[i]] < o.topoPos[anc[j]] })
+	for _, n := range anc {
+		if n == o.root {
+			s.counts[n] = 1
+			continue
+		}
+		var total int64
+		for _, p := range o.Parents(n) {
+			total += s.counts[p]
+		}
+		s.counts[n] = total
+	}
+	res := s.counts[c]
+	for _, n := range anc {
+		s.counts[n] = 0
+	}
+	s.anc = anc[:0]
+	o.scratch.Put(s)
+	return int(res)
+}
+
+// ancestorsScratch is AncestorsInto writing into the scratch's own buffer,
+// leaving the seen marks cleared but the list in s.anc for the caller.
+func (o *Ontology) ancestorsScratch(s *ontScratch, c ConceptID) []ConceptID {
+	anc := append(s.anc[:0], c)
+	s.seen[c] = true
+	for i := 0; i < len(anc); i++ {
+		for _, p := range o.Parents(anc[i]) {
+			if !s.seen[p] {
+				s.seen[p] = true
+				anc = append(anc, p)
+			}
+		}
+	}
+	for _, x := range anc {
+		s.seen[x] = false
+	}
+	return anc
 }
 
 // ResolveAddress maps a Dewey address back to the concept it denotes by
@@ -244,7 +319,7 @@ func (o *Ontology) ancestorsSet(c ConceptID) map[ConceptID]struct{} {
 func (o *Ontology) ResolveAddress(p dewey.Path) (ConceptID, bool) {
 	cur := o.root
 	for _, comp := range p {
-		ch := o.children[cur]
+		ch := o.Children(cur)
 		if int(comp) > len(ch) || comp == 0 {
 			return Invalid, false
 		}
@@ -258,8 +333,29 @@ func (o *Ontology) IsAncestor(a, c ConceptID) bool {
 	if a == c {
 		return true
 	}
-	_, ok := o.ancestorsSet(c)[a]
-	return ok
+	s := o.getScratch()
+	anc := append(s.anc[:0], c)
+	s.seen[c] = true
+	found := false
+scan:
+	for i := 0; i < len(anc); i++ {
+		for _, p := range o.Parents(anc[i]) {
+			if p == a {
+				found = true
+				break scan
+			}
+			if !s.seen[p] {
+				s.seen[p] = true
+				anc = append(anc, p)
+			}
+		}
+	}
+	for _, x := range anc {
+		s.seen[x] = false
+	}
+	s.anc = anc[:0]
+	o.scratch.Put(s)
+	return found
 }
 
 // Stats aggregates the structural statistics the paper reports for
@@ -283,23 +379,20 @@ func (o *Ontology) ComputeStats() Stats {
 	s := Stats{Concepts: o.NumConcepts(), Edges: o.NumEdges(), MaxDepth: o.MaxDepth()}
 	internal := 0
 	childSum := 0
-	for _, ch := range o.children {
-		if len(ch) == 0 {
+	for c := 0; c < o.NumConcepts(); c++ {
+		n := int(o.childOff[c+1] - o.childOff[c])
+		if n == 0 {
 			s.Leaves++
 			continue
 		}
 		internal++
-		childSum += len(ch)
+		childSum += n
 	}
 	if internal > 0 {
 		s.AvgChildrenInternal = float64(childSum) / float64(internal)
 	}
 	if o.NumConcepts() > 1 {
-		parentSum := 0
-		for _, ps := range o.parents {
-			parentSum += len(ps)
-		}
-		s.AvgParents = float64(parentSum) / float64(o.NumConcepts()-1)
+		s.AvgParents = float64(len(o.parentArr)) / float64(o.NumConcepts()-1)
 	}
 	// paths[x]: number of root->x paths; lenSum[x]: sum of their lengths.
 	paths := make([]float64, o.NumConcepts())
@@ -308,7 +401,7 @@ func (o *Ontology) ComputeStats() Stats {
 	var totPaths, totLen float64
 	for _, n := range o.topo {
 		if n != o.root {
-			for _, p := range o.parents[n] {
+			for _, p := range o.Parents(n) {
 				paths[n] += paths[p]
 				lenSum[n] += lenSum[p] + paths[p]
 			}

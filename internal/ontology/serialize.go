@@ -80,10 +80,11 @@ func (o *Ontology) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	for c := 0; c < o.NumConcepts(); c++ {
-		if err := writeUvarint(cw, uint64(len(o.children[c]))); err != nil {
+		children := o.Children(ConceptID(c))
+		if err := writeUvarint(cw, uint64(len(children))); err != nil {
 			return cw.n, err
 		}
-		for _, ch := range o.children[c] {
+		for _, ch := range children {
 			if err := writeUvarint(cw, uint64(ch)); err != nil {
 				return cw.n, err
 			}

@@ -1,0 +1,91 @@
+package pool
+
+import "testing"
+
+func TestSlabAllocZeroed(t *testing.T) {
+	var s Slab[int32]
+	a := s.AllocN(10)
+	if len(a) != 10 {
+		t.Fatalf("AllocN(10) len = %d", len(a))
+	}
+	for i := range a {
+		a[i] = int32(i + 1)
+	}
+	b := s.AllocN(10)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("second AllocN not zeroed at %d: %d", i, v)
+		}
+	}
+	// b must not alias a.
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("AllocN regions alias")
+	}
+}
+
+func TestSlabResetReusesChunks(t *testing.T) {
+	var s Slab[int64]
+	for i := 0; i < 100; i++ {
+		s.AllocN(100)
+	}
+	grown := s.Bytes()
+	if grown == 0 {
+		t.Fatal("no footprint after allocations")
+	}
+	s.Reset()
+	if s.Bytes() != grown {
+		t.Fatalf("Reset changed footprint: %d -> %d", grown, s.Bytes())
+	}
+	// A reset slab re-carves the same chunks without growing.
+	for i := 0; i < 100; i++ {
+		v := s.AllocN(100)
+		for j, x := range v {
+			if x != 0 {
+				t.Fatalf("reused chunk not zeroed at %d: %d", j, x)
+			}
+		}
+		v[0] = 7
+	}
+	if s.Bytes() != grown {
+		t.Fatalf("reused slab grew: %d -> %d", grown, s.Bytes())
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for i := 0; i < 100; i++ {
+			s.AllocN(100)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state slab reuse allocates: %.1f allocs/run", allocs)
+	}
+}
+
+func TestSlabLargeRequest(t *testing.T) {
+	var s Slab[byte]
+	big := s.AllocN(10 * slabMinChunk)
+	if len(big) != 10*slabMinChunk {
+		t.Fatalf("large AllocN len = %d", len(big))
+	}
+	// A later small request still succeeds (new chunk after the big one).
+	if got := s.AllocN(8); len(got) != 8 {
+		t.Fatalf("small AllocN after large = %d", len(got))
+	}
+}
+
+func TestSlabAllocPointer(t *testing.T) {
+	var s Slab[struct{ a, b int }]
+	p := s.Alloc()
+	p.a = 1
+	q := s.Alloc()
+	if q.a != 0 {
+		t.Fatal("Alloc not zeroed")
+	}
+	if p == q {
+		t.Fatal("Alloc returned the same pointer twice")
+	}
+	s.Release()
+	if s.Bytes() != 0 {
+		t.Fatal("Release kept chunks")
+	}
+}

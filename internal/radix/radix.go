@@ -63,7 +63,8 @@ type DAG struct {
 	O     *ontology.Ontology
 	Root  *Node
 	nodes map[ontology.ConceptID]*Node
-	order []*Node // creation order; Index fields index into it
+	order []*Node    // creation order; Index fields index into it
+	ws    *Workspace // non-nil when built inside a Workspace (recycled state)
 }
 
 // New creates an empty DAG over o containing only the root node.
@@ -89,7 +90,14 @@ func (d *DAG) getOrCreate(c ontology.ConceptID) *Node {
 	if n, ok := d.nodes[c]; ok {
 		return n
 	}
-	n := &Node{Concept: c, Index: len(d.order)}
+	var n *Node
+	if d.ws != nil {
+		n = d.ws.newNode()
+	} else {
+		n = &Node{}
+	}
+	n.Concept = c
+	n.Index = len(d.order)
 	d.nodes[c] = n
 	d.order = append(d.order, n)
 	return n
@@ -104,8 +112,28 @@ func (d *DAG) addEdge(parent *Node, label dewey.Path, child *Node) {
 			return
 		}
 	}
-	parent.Edges = append(parent.Edges, Edge{Label: label.Clone(), To: child})
+	var stored dewey.Path
+	if d.ws != nil {
+		stored = d.ws.cloneLabel(label)
+	} else {
+		stored = label.Clone()
+	}
+	parent.Edges = append(parent.Edges, Edge{Label: stored, To: child})
 	child.Parents = append(child.Parents, parent)
+}
+
+// concat joins two address fragments, carving the result from the
+// workspace's label slab when one is attached: insertion walks build a
+// fresh prefix per descent step, which would otherwise dominate the
+// build's allocation count.
+func (d *DAG) concat(a, b dewey.Path) dewey.Path {
+	if d.ws == nil {
+		return dewey.Concat(a, b)
+	}
+	buf := d.ws.labels.AllocN(len(a) + len(b))
+	copy(buf, a)
+	copy(buf[len(a):], b)
+	return dewey.Path(buf)
 }
 
 // removeEdge unlinks the edge with the given label from parent.
@@ -153,7 +181,7 @@ func (d *DAG) insertFrom(cn *Node, u, v dewey.Path, mark Mark) (*Node, error) {
 		}
 		if match == nil {
 			// No overlap: v becomes a fresh edge to the endpoint concept.
-			full := dewey.Concat(u, v)
+			full := d.concat(u, v)
 			endpoint, ok := d.O.ResolveAddress(full)
 			if !ok {
 				return nil, fmt.Errorf("radix: address %v does not resolve in ontology", full)
@@ -166,7 +194,7 @@ func (d *DAG) insertFrom(cn *Node, u, v dewey.Path, mark Mark) (*Node, error) {
 		l := dewey.LCPLen(v, match.Label)
 		if l == len(match.Label) {
 			// Full edge match: descend.
-			u = dewey.Concat(u, match.Label)
+			u = d.concat(u, match.Label)
 			v = v[l:]
 			cn = match.To
 			continue
@@ -175,12 +203,15 @@ func (d *DAG) insertFrom(cn *Node, u, v dewey.Path, mark Mark) (*Node, error) {
 		// split point is a real ontology concept (the LCA of the two
 		// addresses), possibly one that already has a node (Example 2,
 		// step 8: address 3.1.1 resolves to the existing node J).
-		lcaPath := dewey.Concat(u, v[:l])
+		lcaPath := d.concat(u, v[:l])
 		lcaConcept, ok := d.O.ResolveAddress(lcaPath)
 		if !ok {
 			return nil, fmt.Errorf("radix: split address %v does not resolve in ontology", lcaPath)
 		}
-		oldLabel := match.Label.Clone()
+		// Capture the label before removeEdge invalidates match (the Edges
+		// array is compacted); the label's backing array itself is never
+		// mutated, so the slice header is enough.
+		oldLabel := match.Label
 		oldChild := d.removeEdge(cn, match.Label)
 		lca := d.getOrCreate(lcaConcept)
 		d.addEdge(cn, oldLabel[:l], lca)
@@ -218,8 +249,13 @@ func (d *DAG) InsertConcept(c ontology.ConceptID, mark Mark, maxPaths int) error
 }
 
 // TopoOrder returns nodes ordered parents-before-children. The DAG must be
-// fully built; insertion afterwards invalidates the result.
+// fully built; insertion afterwards invalidates the result. For a
+// workspace-built DAG the returned slice is workspace scratch, valid until
+// the next NewDAG.
 func (d *DAG) TopoOrder() []*Node {
+	if d.ws != nil {
+		return d.ws.topoDense(d)
+	}
 	indeg := make(map[*Node]int, len(d.order))
 	for _, n := range d.order {
 		for _, e := range n.Edges {

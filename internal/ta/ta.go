@@ -32,8 +32,10 @@ type Posting struct {
 type Index struct {
 	o     *ontology.Ontology
 	lists map[ontology.ConceptID][]Posting
-	// random access support: per concept, doc -> distance
-	direct map[ontology.ConceptID]map[corpus.DocID]int32
+	// random access support: per concept, the same postings sorted by
+	// ascending DocID — a flat array probed by binary search instead of a
+	// per-concept hash map (half the memory, no per-doc map entries).
+	direct map[ontology.ConceptID][]Posting
 	docs   int
 	// BuildTime records the (offline, in the paper's architecture)
 	// precomputation cost.
@@ -109,13 +111,12 @@ func Build(o *ontology.Ontology, coll *corpus.Collection, fwd index.Forward, con
 	ix := &Index{
 		o:      o,
 		lists:  make(map[ontology.ConceptID][]Posting, len(concepts)),
-		direct: make(map[ontology.ConceptID]map[corpus.DocID]int32, len(concepts)),
+		direct: make(map[ontology.ConceptID][]Posting, len(concepts)),
 		docs:   coll.NumDocs(),
 	}
 	for _, c := range concepts {
 		dists := validDistancesFrom(o, c)
-		list := make([]Posting, 0, coll.NumDocs())
-		dmap := make(map[corpus.DocID]int32, coll.NumDocs())
+		byDoc := make([]Posting, 0, coll.NumDocs())
 		for _, doc := range coll.Docs() {
 			if len(doc.Concepts) == 0 {
 				continue
@@ -126,9 +127,11 @@ func Build(o *ontology.Ontology, coll *corpus.Collection, fwd index.Forward, con
 					best = d
 				}
 			}
-			list = append(list, Posting{Doc: doc.ID, Dist: best})
-			dmap[doc.ID] = best
+			byDoc = append(byDoc, Posting{Doc: doc.ID, Dist: best})
 		}
+		sort.Slice(byDoc, func(i, j int) bool { return byDoc[i].Doc < byDoc[j].Doc })
+		list := make([]Posting, len(byDoc))
+		copy(list, byDoc)
 		sort.Slice(list, func(i, j int) bool {
 			if list[i].Dist != list[j].Dist {
 				return list[i].Dist < list[j].Dist
@@ -136,10 +139,23 @@ func Build(o *ontology.Ontology, coll *corpus.Collection, fwd index.Forward, con
 			return list[i].Doc < list[j].Doc
 		})
 		ix.lists[c] = list
-		ix.direct[c] = dmap
+		ix.direct[c] = byDoc
 	}
 	ix.BuildTime = time.Since(start)
 	return ix, nil
+}
+
+// lookup is the random-access probe: D(c, doc) by binary search over the
+// concept's doc-sorted postings. Mirrors the old map's zero-value
+// semantics for a document outside the list (cannot happen for the
+// non-empty documents TA touches — every one is in every list).
+func (ix *Index) lookup(c ontology.ConceptID, doc corpus.DocID) int32 {
+	l := ix.direct[c]
+	i := sort.Search(len(l), func(i int) bool { return l[i].Doc >= doc })
+	if i < len(l) && l[i].Doc == doc {
+		return l[i].Dist
+	}
+	return 0
 }
 
 // ErrMissingList reports a query concept without a precomputed list.
@@ -214,7 +230,7 @@ func (ix *Index) TopK(q []ontology.ConceptID, k int) ([]Result, Stats, error) {
 					continue
 				}
 				st.RandomAccesses++
-				total += float64(ix.direct[c][p.Doc])
+				total += float64(ix.lookup(c, p.Doc))
 			}
 			insert(scored{doc: p.Doc, dist: total})
 		}
