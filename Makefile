@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs bench-measures bench-memstats experiments serve-demo api-check api-snapshot
+.PHONY: build test test-race vet lint bench bench-shard bench-trace bench-cursor bench-cache bench-pairs bench-measures bench-memstats bench-cluster experiments serve-demo serve-cluster api-check api-snapshot
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,12 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages: the parallel kNDS engine
-# and its serial-equivalence suite, the sharded fan-out engine, the worker
+# and its serial-equivalence suite, the sharded fan-out engine, the
+# distributed serving tier (loopback node fleets + coordinator), the worker
 # pool primitives, the shared address cache, the semantic-distance cache,
 # and the telemetry registry.
 test-race:
-	$(GO) test -race -count=2 ./internal/cache/... ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/... ./internal/telemetry/...
+	$(GO) test -race -count=2 ./internal/cache/... ./internal/cluster/... ./internal/core/... ./internal/drc/... ./internal/pool/... ./internal/shard/... ./internal/telemetry/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -75,6 +76,12 @@ bench-memstats:
 bench-measures:
 	$(GO) run ./cmd/crbench -scale small -exp measures
 
+# Distributed serving tier: single-vs-sharded-vs-distributed latency with
+# bitwise verification, hedge win rate against a slowed replica, and shed
+# rate under a concurrent burst (EXPERIMENTS.md, "Distributed serving").
+bench-cluster:
+	$(GO) run ./cmd/crbench -scale small -exp cluster
+
 # Public API surface gate. api/conceptrank.txt is the checked-in `go doc`
 # snapshot of the root package; api-check fails when the exported surface
 # (or its package doc) drifts without the snapshot being regenerated, so
@@ -96,3 +103,14 @@ experiments:
 # and /debug/pprof.
 serve-demo:
 	$(GO) run ./cmd/crserve -listen :6060 -demo 50ms
+
+# Distributed demo on one machine: three shard nodes plus a coordinator on
+# :6060 speaking the same /search surface as serve-demo. Ctrl-C stops all
+# four (each drains gracefully).
+serve-cluster:
+	$(GO) run ./cmd/crserve -node -shard-index 0 -shard-count 3 -listen :7001 & \
+	$(GO) run ./cmd/crserve -node -shard-index 1 -shard-count 3 -listen :7002 & \
+	$(GO) run ./cmd/crserve -node -shard-index 2 -shard-count 3 -listen :7003 & \
+	sleep 2; \
+	$(GO) run ./cmd/crserve -coordinator -peers 'http://localhost:7001;http://localhost:7002;http://localhost:7003' -listen :6060; \
+	kill %1 %2 %3 2>/dev/null; wait

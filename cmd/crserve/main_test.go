@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCorpus keeps every server in a test on the same tiny synthetic
+// corpus, so local and distributed answers are comparable bitwise.
+func testCorpus(cfg *config) {
+	cfg.concepts = 300
+	cfg.scale = 0.002
+	cfg.seed = 7
+	cfg.placement = "round-robin"
+	cfg.runtimeIv = time.Hour // keep the sampler quiet in tests
+}
+
+// startApp builds and serves an app on a loopback port, returning its base
+// URL, the app, and a shutdown function that drives the graceful path and
+// reports its error.
+func startApp(t *testing.T, cfg config) (string, *app, func() error) {
+	t.Helper()
+	a, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx, ln) }()
+	var once sync.Once
+	var shutdownErr error
+	shutdown := func() error {
+		once.Do(func() {
+			cancel()
+			select {
+			case shutdownErr = <-done:
+			case <-time.After(15 * time.Second):
+				shutdownErr = fmt.Errorf("server did not shut down")
+			}
+		})
+		return shutdownErr
+	}
+	t.Cleanup(func() { _ = shutdown() })
+	return "http://" + ln.Addr().String(), a, shutdown
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	var cfg config
+	testCorpus(&cfg)
+	base, _, _ := startApp(t, cfg)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestGracefulShutdown is the regression test for the drain path: open a
+// paged cursor, shut the server down, and require (a) a clean exit, (b)
+// the cursor store drained, (c) the port actually released.
+func TestGracefulShutdown(t *testing.T) {
+	var cfg config
+	testCorpus(&cfg)
+	base, a, shutdown := startApp(t, cfg)
+
+	var resp searchResponse
+	getJSON(t, base+"/search?type=rds&ids=1,2&page=2", &resp)
+	if resp.Cursor == "" {
+		t.Fatal("paged search returned no cursor")
+	}
+	if got := a.store.len(); got != 1 {
+		t.Fatalf("store has %d cursors, want 1", got)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if got := a.store.len(); got != 0 {
+		t.Fatalf("store has %d cursors after drain, want 0", got)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// TestDistributedServeEquivalence runs the full wiring the README
+// describes — N node processes plus a coordinator — against a standalone
+// server on the same corpus, and requires identical /search answers,
+// including through a paged cursor.
+func TestDistributedServeEquivalence(t *testing.T) {
+	const shards = 2
+	var peers []string
+	for s := 0; s < shards; s++ {
+		var cfg config
+		testCorpus(&cfg)
+		cfg.node = true
+		cfg.shardIndex = s
+		cfg.shardCount = shards
+		base, _, _ := startApp(t, cfg)
+		peers = append(peers, base)
+	}
+	var ccfg config
+	testCorpus(&ccfg)
+	ccfg.coordinator = true
+	ccfg.peers = strings.Join(peers, ";")
+	ccfg.retries = 1
+	coordBase, _, _ := startApp(t, ccfg)
+
+	var lcfg config
+	testCorpus(&lcfg)
+	localBase, _, _ := startApp(t, lcfg)
+
+	for _, query := range []string{
+		"/search?type=rds&ids=1,2,3&k=10&eps=0.5",
+		"/search?type=rds&ids=42&k=5&eps=0.3",
+		"/search?type=sds&doc=0&k=10&eps=0.5",
+	} {
+		var local, dist searchResponse
+		getJSON(t, localBase+query, &local)
+		getJSON(t, coordBase+query, &dist)
+		if len(local.Results) != len(dist.Results) {
+			t.Fatalf("%s: local %d results, distributed %d", query, len(local.Results), len(dist.Results))
+		}
+		for i := range local.Results {
+			if local.Results[i] != dist.Results[i] {
+				t.Fatalf("%s: result %d differs: local %+v distributed %+v",
+					query, i, local.Results[i], dist.Results[i])
+			}
+		}
+		if len(dist.Degraded) != 0 {
+			t.Fatalf("%s: healthy cluster degraded %v", query, dist.Degraded)
+		}
+	}
+
+	// Paged: first page + resumed page through the coordinator equals one
+	// k=6 local answer.
+	var full searchResponse
+	getJSON(t, localBase+"/search?type=rds&ids=1,2,3&k=6&eps=0.5", &full)
+	var page1 searchResponse
+	getJSON(t, coordBase+"/search?type=rds&ids=1,2,3&eps=0.5&page=3", &page1)
+	if page1.Cursor == "" {
+		t.Fatal("coordinator paged search returned no cursor")
+	}
+	var page2 searchResponse
+	getJSON(t, coordBase+"/search?cursor="+page1.Cursor+"&n=3", &page2)
+	paged := append(page1.Results, page2.Results...)
+	if len(paged) < len(full.Results) {
+		t.Fatalf("paged %d results, want >= %d", len(paged), len(full.Results))
+	}
+	for i := range full.Results {
+		if full.Results[i] != paged[i] {
+			t.Fatalf("paged result %d differs: local %+v distributed %+v",
+				i, full.Results[i], paged[i])
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("http://a:1,http://a:2; b:1 ;c:1,c:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"http://a:1", "http://a:2"},
+		{"http://b:1"},
+		{"http://c:1", "http://c:2"},
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("peers = %v", peers)
+	}
+	for i := range want {
+		if len(peers[i]) != len(want[i]) {
+			t.Fatalf("shard %d: %v, want %v", i, peers[i], want[i])
+		}
+		for j := range want[i] {
+			if peers[i][j] != want[i][j] {
+				t.Fatalf("shard %d replica %d: %q, want %q", i, j, peers[i][j], want[i][j])
+			}
+		}
+	}
+	if _, err := parsePeers(""); err == nil {
+		t.Fatal("empty peers accepted")
+	}
+	if _, err := parsePeers("a;;b"); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}

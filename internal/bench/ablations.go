@@ -254,14 +254,20 @@ func All(env *Env) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, ct...), nil
+	out = append(out, ct...)
+	cl, err := ClusterServing(env)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, cl...), nil
 }
 
 // Experiment names accepted by Run.
 var experimentNames = []string{
 	"table3", "ontostats", "fig6", "fig7", "fig8", "fig9", "examined",
 	"dedup", "queue", "skip", "store", "ta", "parallel", "shard",
-	"telemetry", "cursor", "cache", "pairs", "measures", "memstats", "all",
+	"telemetry", "cursor", "cache", "pairs", "measures", "memstats",
+	"cluster", "all",
 }
 
 // Names lists the runnable experiment identifiers.
@@ -329,6 +335,8 @@ func Run(env *Env, name string) ([]*Table, error) {
 		return []*Table{t}, err
 	case "memstats":
 		return MemStats(env)
+	case "cluster":
+		return ClusterServing(env)
 	case "all", "":
 		return All(env)
 	}

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"conceptrank/internal/cluster"
+	"conceptrank/internal/core"
+	"conceptrank/internal/shard"
+	"conceptrank/internal/telemetry"
+)
+
+// Distributed-serving experiment (beyond the paper): the sharded engine's
+// fan-out moved across process boundaries — shard nodes behind a
+// coordinator speaking HTTP+JSON RPC over loopback. Three phases:
+//
+//  1. Serving-tier latency: per-query wall clock of the single engine, the
+//     in-process sharded engine, and the loopback-distributed coordinator,
+//     every distributed answer verified bitwise against the single engine.
+//     The gap between sharded and distributed is the protocol's price
+//     (JSON, HTTP round trips, the step loop).
+//  2. Hedge win rate: one replica of every shard is slowed by a fixed
+//     delay; hedged requests race the second replica after a short hedge
+//     delay. Reports the hedge rate, the win rate, and the latency with
+//     hedging off vs on — the tail-at-scale effect at demo size.
+//  3. Load shedding: a burst of concurrent queries against a coordinator
+//     admitting few in flight; reports the shed fraction and that every
+//     admitted query still answered exactly.
+
+// clusterFleet is the loopback deployment used by all three phases.
+type clusterFleet struct {
+	peers [][]string
+	nodes []*cluster.Node
+	srvs  []*httptest.Server
+}
+
+func (f *clusterFleet) close() {
+	for _, s := range f.srvs {
+		s.Close()
+	}
+	for _, n := range f.nodes {
+		_ = n.Close()
+	}
+}
+
+// newClusterFleet starts shards×replicas loopback nodes over ds. wrap,
+// when non-nil, decorates each replica's handler (delay injection).
+func newClusterFleet(env *Env, ds *Dataset, shards, replicas int, wrap func(shardIdx, replica int, h http.Handler) http.Handler) (*clusterFleet, error) {
+	colls, maps, err := shard.Partition(ds.Coll, shard.Config{Shards: shards, Placement: shard.RoundRobin})
+	if err != nil {
+		return nil, err
+	}
+	f := &clusterFleet{}
+	for s := 0; s < shards; s++ {
+		var urls []string
+		for rep := 0; rep < replicas; rep++ {
+			n, err := cluster.NewNode(cluster.NodeConfig{
+				Ontology: env.O, Coll: colls[s], DocMap: maps[s],
+			})
+			if err != nil {
+				f.close()
+				return nil, err
+			}
+			h := http.Handler(n.Handler())
+			if wrap != nil {
+				h = wrap(s, rep, h)
+			}
+			srv := httptest.NewServer(h)
+			f.nodes = append(f.nodes, n)
+			f.srvs = append(f.srvs, srv)
+			urls = append(urls, srv.URL)
+		}
+		f.peers = append(f.peers, urls)
+	}
+	return f, nil
+}
+
+// ClusterServing is the three-phase distributed-serving experiment.
+func ClusterServing(env *Env) ([]*Table, error) {
+	lat, err := clusterLatency(env)
+	if err != nil {
+		return nil, err
+	}
+	hedge, err := clusterHedging(env)
+	if err != nil {
+		return nil, err
+	}
+	shed, err := clusterShedding(env)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{lat, hedge, shed}, nil
+}
+
+func clusterLatency(env *Env) (*Table, error) {
+	t := &Table{
+		ID:     "cluster",
+		Title:  "Serving-tier latency: single vs in-process sharded vs loopback-distributed (2 shards)",
+		Header: []string{"dataset", "type", "tier", "ms/q", "vs single"},
+	}
+	const shards = 2
+	ctx := context.Background()
+	for _, ds := range env.Datasets() {
+		se, err := shard.New(env.O, ds.Coll, shard.Config{Shards: shards, Placement: shard.RoundRobin})
+		if err != nil {
+			return nil, err
+		}
+		f, err := newClusterFleet(env, ds, shards, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		coord, err := cluster.NewCoordinator(ctx, cluster.CoordinatorConfig{Peers: f.peers})
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		for _, sds := range []bool{false, true} {
+			kind, queries := workload(env, ds, sds)
+			opts := core.Options{K: DefaultK, ErrorThreshold: ds.DefaultEps}
+			single, err := timeSingle(ds.Engine, sds, queries, opts)
+			if err != nil {
+				f.close()
+				return nil, err
+			}
+			shardedTotal, _, err := timeSharded(ds.Engine, se, sds, queries, opts)
+			if err != nil {
+				f.close()
+				return nil, err
+			}
+			shardedPerQ := shardedTotal / time.Duration(len(queries))
+			var distTotal time.Duration
+			for _, q := range queries {
+				start := time.Now()
+				var got []core.Result
+				if sds {
+					got, _, err = coord.SDS(ctx, q, opts)
+				} else {
+					got, _, err = coord.RDS(ctx, q, opts)
+				}
+				distTotal += time.Since(start)
+				if err != nil {
+					f.close()
+					return nil, err
+				}
+				var want []core.Result
+				if sds {
+					want, _, err = ds.Engine.SDS(q, opts)
+				} else {
+					want, _, err = ds.Engine.RDS(q, opts)
+				}
+				if err != nil {
+					f.close()
+					return nil, err
+				}
+				if len(got) != len(want) {
+					f.close()
+					return nil, fmt.Errorf("bench: distributed returned %d results, single %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						f.close()
+						return nil, fmt.Errorf("bench: distributed mismatch at rank %d: %v vs %v", i, got[i], want[i])
+					}
+				}
+			}
+			distPerQ := distTotal / time.Duration(len(queries))
+			t.Add(ds.Name, kind, "single", ms(single), f2(1))
+			t.Add(ds.Name, kind, "sharded", ms(shardedPerQ), f2(float64(shardedPerQ)/float64(single)))
+			t.Add(ds.Name, kind, "distributed", ms(distPerQ), f2(float64(distPerQ)/float64(single)))
+		}
+		f.close()
+	}
+	t.Note("every distributed answer verified bitwise against the single engine; 'vs single' is the per-tier latency multiple (protocol cost: JSON + HTTP round trips over loopback)")
+	return t, nil
+}
+
+// delayHandler injects a fixed delay before forwarding to the node.
+func delayHandler(d time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func clusterHedging(env *Env) (*Table, error) {
+	t := &Table{
+		ID:     "cluster-hedge",
+		Title:  "Hedged requests with one slow replica per shard (replica 0 delayed 25ms, hedge after 2ms)",
+		Header: []string{"dataset", "hedging", "ms/q", "hedges/q", "win rate"},
+	}
+	const (
+		shards    = 2
+		slowDelay = 25 * time.Millisecond
+		hedgeAt   = 2 * time.Millisecond
+	)
+	ctx := context.Background()
+	ds := env.Radio
+	_, queries := workload(env, ds, false)
+	opts := core.Options{K: DefaultK, ErrorThreshold: ds.DefaultEps}
+	f, err := newClusterFleet(env, ds, shards, 2, func(_, rep int, h http.Handler) http.Handler {
+		if rep == 0 {
+			return delayHandler(slowDelay, h)
+		}
+		return h
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+
+	for _, hedging := range []bool{false, true} {
+		reg := telemetry.NewRegistry()
+		cfg := cluster.CoordinatorConfig{Peers: f.peers, Registry: reg}
+		if hedging {
+			cfg.HedgeDelay = hedgeAt
+		}
+		coord, err := cluster.NewCoordinator(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hedges := reg.Counter("crank_coord_hedges_total", "")
+		wins := reg.Counter("crank_coord_hedge_wins_total", "")
+		h0, w0 := hedges.Value(), wins.Value()
+		start := time.Now()
+		for _, q := range queries {
+			if _, _, err := coord.RDS(ctx, q, opts); err != nil {
+				return nil, err
+			}
+		}
+		perQ := time.Since(start) / time.Duration(len(queries))
+		hn, wn := hedges.Value()-h0, wins.Value()-w0
+		winRate := "n/a"
+		if hn > 0 {
+			winRate = f2(float64(wn) / float64(hn))
+		}
+		label := "off"
+		if hedging {
+			label = "on"
+		}
+		t.Add(ds.Name, label, ms(perQ), f2(float64(hn)/float64(len(queries))), winRate)
+	}
+	t.Note("with hedging off every open waits out the slow replica; on, the race cuts latency to roughly the hedge delay plus the fast replica's service time")
+	return t, nil
+}
+
+func clusterShedding(env *Env) (*Table, error) {
+	t := &Table{
+		ID:     "cluster-shed",
+		Title:  "Admission control under a concurrent burst (max 2 in flight)",
+		Header: []string{"dataset", "burst", "admitted", "shed", "shed rate"},
+	}
+	const (
+		shards      = 2
+		maxInFlight = 2
+		burst       = 24
+	)
+	ctx := context.Background()
+	ds := env.Radio
+	_, queries := workload(env, ds, false)
+	opts := core.Options{K: DefaultK, ErrorThreshold: ds.DefaultEps}
+	f, err := newClusterFleet(env, ds, shards, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+	reg := telemetry.NewRegistry()
+	coord, err := cluster.NewCoordinator(ctx, cluster.CoordinatorConfig{
+		Peers:     f.peers,
+		Registry:  reg,
+		Admission: cluster.AdmissionConfig{MaxInFlight: maxInFlight},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		q := queries[i%len(queries)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := coord.RDS(ctx, q, opts)
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, cluster.ErrOverloaded):
+				shed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load()+shed.Load() != burst {
+		return nil, fmt.Errorf("bench: burst accounting: %d admitted + %d shed != %d",
+			admitted.Load(), shed.Load(), burst)
+	}
+	shedsCounter := reg.Counter("crank_coord_sheds_total", "")
+	if shedsCounter.Value() != shed.Load() {
+		return nil, fmt.Errorf("bench: shed counter %d != observed %d", shedsCounter.Value(), shed.Load())
+	}
+	t.Add(ds.Name, itoa(burst), itoa(int(admitted.Load())), itoa(int(shed.Load())),
+		f2(float64(shed.Load())/float64(burst)))
+	t.Note("shed queries fail fast with ErrOverloaded instead of queueing; admitted ones answer exactly (verified by the latency phase)")
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"conceptrank/internal/telemetry"
+)
+
+// ErrOverloaded is returned when admission control sheds a query: the
+// serving tier is past its in-flight or latency limits and rejecting now
+// is cheaper than queueing into a collapse. Clients should back off;
+// the coordinator maps it to HTTP 429/503 at its own edges.
+var ErrOverloaded = errors.New("cluster: overloaded, query shed")
+
+// AdmissionConfig bounds what the coordinator accepts. Zero values
+// disable the corresponding limit, so the zero config admits everything.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently admitted queries across all tenants.
+	MaxInFlight int
+	// MaxPerTenant caps concurrently admitted queries per tenant — one
+	// tenant's burst cannot starve the rest.
+	MaxPerTenant int
+	// ShedLatency sheds new queries while the observed p99 query latency
+	// exceeds it and earlier queries are still draining — the signal the
+	// latency histograms and the slow-query ring exist to provide.
+	ShedLatency time.Duration
+	// LatencyP99 probes the current p99 query latency for the ShedLatency
+	// rule; typically telemetry.Histogram.Quantile(0.99) over the
+	// coordinator's query-latency histogram. nil disables the rule.
+	LatencyP99 func() time.Duration
+}
+
+// Admission is a per-tenant admission controller. Acquire admits or
+// sheds; the returned release must be called when the query finishes.
+type Admission struct {
+	cfg   AdmissionConfig
+	sheds *telemetry.Counter // may be nil
+
+	mu        sync.Mutex
+	total     int
+	perTenant map[string]int
+}
+
+// NewAdmission builds a controller; sheds (may be nil) counts rejected
+// queries.
+func NewAdmission(cfg AdmissionConfig, sheds *telemetry.Counter) *Admission {
+	return &Admission{cfg: cfg, sheds: sheds, perTenant: make(map[string]int)}
+}
+
+// InFlight reports currently admitted queries (all tenants).
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Acquire admits one query for tenant ("" is the anonymous tenant) or
+// returns ErrOverloaded. On admission the release function must be called
+// exactly once when the query completes; it is idempotent.
+func (a *Admission) Acquire(tenant string) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	shed := func() (func(), error) {
+		if a.sheds != nil {
+			a.sheds.Inc()
+		}
+		return nil, ErrOverloaded
+	}
+	// The latency probe runs before the lock: Quantile walks histogram
+	// buckets and must not serialize admissions.
+	slow := a.cfg.ShedLatency > 0 && a.cfg.LatencyP99 != nil &&
+		a.cfg.LatencyP99() > a.cfg.ShedLatency
+
+	a.mu.Lock()
+	switch {
+	case a.cfg.MaxInFlight > 0 && a.total >= a.cfg.MaxInFlight:
+		a.mu.Unlock()
+		return shed()
+	case a.cfg.MaxPerTenant > 0 && a.perTenant[tenant] >= a.cfg.MaxPerTenant:
+		a.mu.Unlock()
+		return shed()
+	case slow && a.total > 0:
+		// Latency overload: shed new work while the backlog drains. An
+		// idle tier always admits — rejecting then would never recover.
+		a.mu.Unlock()
+		return shed()
+	}
+	a.total++
+	a.perTenant[tenant]++
+	a.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.total--
+			if a.perTenant[tenant] <= 1 {
+				delete(a.perTenant, tenant)
+			} else {
+				a.perTenant[tenant]--
+			}
+			a.mu.Unlock()
+		})
+	}, nil
+}
+
+// tenantKey is the context key carrying the requesting tenant.
+type tenantKey struct{}
+
+// WithTenant tags ctx with the requesting tenant for admission control.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant tag ("" when untagged).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

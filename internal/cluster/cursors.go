@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Cursor-token store: open cursors parked between RPC (or HTTP page)
+// calls, named by unguessable tokens and bounded by a TTL and a count cap.
+// TTL'd tokens are load-bearing for the distributed tier — a coordinator
+// that dies mid-query must not pin node memory forever — so eviction
+// closes the parked cursor via the OnEvict hook.
+//
+// Take removes the entry while a request uses it, so two concurrent
+// requests for the same token cannot interleave on one cursor: the loser
+// sees "unknown cursor" instead of a data race. Put returns it with a
+// refreshed deadline.
+
+// ErrStoreFull is returned by Add when the store is at capacity.
+var ErrStoreFull = errors.New("cluster: cursor store full")
+
+// CursorStore is a TTL'd token → cursor map, safe for concurrent use.
+type CursorStore[T any] struct {
+	ttl time.Duration
+	max int
+	// OnEvict, when non-nil, observes every entry dropped by TTL sweep or
+	// by Remove — the hook that closes the underlying cursor. Called
+	// without the store lock.
+	OnEvict func(T)
+
+	mu sync.Mutex
+	m  map[string]storeEntry[T]
+}
+
+type storeEntry[T any] struct {
+	v        T
+	deadline time.Time
+}
+
+// NewCursorStore builds a store evicting entries idle for ttl (default 2
+// minutes) and holding at most max entries (default 256).
+func NewCursorStore[T any](ttl time.Duration, max int) *CursorStore[T] {
+	if ttl <= 0 {
+		ttl = 2 * time.Minute
+	}
+	if max <= 0 {
+		max = 256
+	}
+	return &CursorStore[T]{ttl: ttl, max: max, m: make(map[string]storeEntry[T])}
+}
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("cluster: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Add parks v under a fresh token. ErrStoreFull when at capacity.
+func (s *CursorStore[T]) Add(v T) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.m) >= s.max {
+		return "", ErrStoreFull
+	}
+	tok := newToken()
+	s.m[tok] = storeEntry[T]{v: v, deadline: time.Now().Add(s.ttl)}
+	return tok, nil
+}
+
+// Take removes and returns the entry for tok, or ok=false when the token
+// is unknown, expired, or currently taken by another request.
+func (s *CursorStore[T]) Take(tok string) (v T, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[tok]
+	if !ok {
+		return v, false
+	}
+	delete(s.m, tok)
+	if time.Now().After(e.deadline) {
+		// Expired but not yet swept: evict rather than resurrect.
+		if s.OnEvict != nil {
+			go s.OnEvict(e.v)
+		}
+		return v, false
+	}
+	return e.v, true
+}
+
+// Put returns a taken entry under the same token with a refreshed
+// deadline.
+func (s *CursorStore[T]) Put(tok string, v T) {
+	s.mu.Lock()
+	s.m[tok] = storeEntry[T]{v: v, deadline: time.Now().Add(s.ttl)}
+	s.mu.Unlock()
+}
+
+// Remove drops tok and hands its entry to OnEvict. Unknown tokens are a
+// no-op (the entry may be taken by an in-flight request, which will Put it
+// back to be swept later, or was already evicted).
+func (s *CursorStore[T]) Remove(tok string) {
+	s.mu.Lock()
+	e, ok := s.m[tok]
+	delete(s.m, tok)
+	s.mu.Unlock()
+	if ok && s.OnEvict != nil {
+		s.OnEvict(e.v)
+	}
+}
+
+// Len reports the number of parked entries.
+func (s *CursorStore[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Sweep evicts every entry whose deadline has passed and returns how many
+// were dropped. Call periodically; entries taken by in-flight requests are
+// not in the map and thus never swept mid-request.
+func (s *CursorStore[T]) Sweep() int {
+	now := time.Now()
+	var evicted []T
+	s.mu.Lock()
+	for tok, e := range s.m {
+		if now.After(e.deadline) {
+			delete(s.m, tok)
+			evicted = append(evicted, e.v)
+		}
+	}
+	s.mu.Unlock()
+	if s.OnEvict != nil {
+		for _, v := range evicted {
+			s.OnEvict(v)
+		}
+	}
+	return len(evicted)
+}

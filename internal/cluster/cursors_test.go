@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestStore(ttl time.Duration, max int, onEvict func(int)) *CursorStore[int] {
+	cs := NewCursorStore[int](ttl, max)
+	cs.OnEvict = onEvict
+	return cs
+}
+
+func TestCursorStoreTakePutCycle(t *testing.T) {
+	cs := newTestStore(time.Minute, 4, nil)
+	tok, err := cs.Add(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := cs.Take(tok)
+	if !ok || v != 42 {
+		t.Fatalf("Take = %v, %v", v, ok)
+	}
+	// Take removes the entry: a second Take must miss until Put.
+	if _, ok := cs.Take(tok); ok {
+		t.Fatal("second Take succeeded while cursor was checked out")
+	}
+	cs.Put(tok, 43)
+	v, ok = cs.Take(tok)
+	if !ok || v != 43 {
+		t.Fatalf("Take after Put = %v, %v", v, ok)
+	}
+}
+
+func TestCursorStoreExpiry(t *testing.T) {
+	var evicted atomic.Int32
+	cs := newTestStore(10*time.Millisecond, 4, func(int) { evicted.Add(1) })
+	tok, err := cs.Add(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if _, ok := cs.Take(tok); ok {
+		t.Fatal("Take returned an expired cursor")
+	}
+	// Eventually the eviction hook fires (lazily on the failed Take).
+	deadline := time.Now().Add(time.Second)
+	for evicted.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if evicted.Load() != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted.Load())
+	}
+	if cs.Len() != 0 {
+		t.Fatalf("Len = %d after expiry, want 0", cs.Len())
+	}
+}
+
+func TestCursorStorePutRefreshesDeadline(t *testing.T) {
+	cs := newTestStore(40*time.Millisecond, 4, nil)
+	tok, err := cs.Add(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the cursor alive past its original TTL through activity.
+	for i := 0; i < 4; i++ {
+		time.Sleep(15 * time.Millisecond)
+		v, ok := cs.Take(tok)
+		if !ok {
+			t.Fatalf("cursor expired despite activity (round %d)", i)
+		}
+		cs.Put(tok, v)
+	}
+}
+
+func TestCursorStoreFull(t *testing.T) {
+	cs := newTestStore(time.Minute, 2, nil)
+	if _, err := cs.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Add(3); err != ErrStoreFull {
+		t.Fatalf("third Add err = %v, want ErrStoreFull", err)
+	}
+	// Sweep of live entries frees nothing; removing one admits again.
+	cs.Sweep()
+	if _, err := cs.Add(4); err != ErrStoreFull {
+		t.Fatalf("Add after no-op sweep err = %v, want ErrStoreFull", err)
+	}
+}
+
+func TestCursorStoreSweep(t *testing.T) {
+	var evicted atomic.Int32
+	cs := newTestStore(5*time.Millisecond, 8, func(int) { evicted.Add(1) })
+	for i := 0; i < 3; i++ {
+		if _, err := cs.Add(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(15 * time.Millisecond)
+	cs.Sweep()
+	if got := cs.Len(); got != 0 {
+		t.Fatalf("Len after sweep = %d, want 0", got)
+	}
+	if got := evicted.Load(); got != 3 {
+		t.Fatalf("evictions = %d, want 3", got)
+	}
+}
+
+// TestCursorStoreConcurrentTakeRace hammers one token from many
+// goroutines: exactly one Take wins per Put cycle, so the counter of
+// successful Takes equals the number of completed Put cycles — checked-out
+// cursors are never visible to anyone else. Run under -race this also
+// proves the store's locking.
+func TestCursorStoreConcurrentTakeRace(t *testing.T) {
+	cs := newTestStore(time.Minute, 8, nil)
+	tok, err := cs.Add(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, rounds = 8, 200
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if v, ok := cs.Take(tok); ok {
+					wins.Add(1)
+					cs.Put(tok, v+1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok := cs.Take(tok)
+	if !ok {
+		t.Fatal("cursor lost after concurrent churn")
+	}
+	if int32(v) != wins.Load() {
+		t.Fatalf("cursor value %d != successful takes %d: concurrent Take interleaved", v, wins.Load())
+	}
+}
+
+// TestCursorStoreConcurrentAddRemove checks the size cap holds under
+// concurrent Add/Remove churn and that tokens never collide.
+func TestCursorStoreConcurrentAddRemove(t *testing.T) {
+	const max = 16
+	cs := newTestStore(time.Minute, max, nil)
+	var wg sync.WaitGroup
+	seen := sync.Map{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tok, err := cs.Add(i)
+				if err != nil {
+					continue // store full: fine under churn
+				}
+				if _, dup := seen.LoadOrStore(tok, true); dup {
+					t.Errorf("token %q issued twice", tok)
+					return
+				}
+				if cs.Len() > max {
+					t.Errorf("Len %d exceeds max %d", cs.Len(), max)
+					return
+				}
+				cs.Remove(tok)
+			}
+		}()
+	}
+	wg.Wait()
+}

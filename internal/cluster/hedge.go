@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// replicaGroup is one shard's replica set with tail-latency hedging: a
+// stateless call goes to the preferred replica first and, if no answer
+// arrives within hedgeDelay, is raced against the next replica — first
+// success wins, the loser's context is cancelled. Stateful cursor calls
+// must stay on the replica that owns the cursor; callOn addresses a
+// replica directly for those (the open is hedged, the winner becomes the
+// cursor's home).
+type replicaGroup struct {
+	node       int // shard index, for metrics labels
+	replicas   []*transport
+	hedgeDelay time.Duration // <= 0 disables hedging
+	cm         *coordMetrics // may be nil (tests)
+}
+
+func (g *replicaGroup) observe(start time.Time, failed bool) {
+	if g.cm != nil {
+		g.cm.observe(g.node, start, failed)
+	}
+}
+
+// callOn posts to one specific replica — the sticky path for cursor
+// steps.
+func (g *replicaGroup) callOn(ctx context.Context, replica int, endpoint string, in, out any) error {
+	start := time.Now()
+	err := g.replicas[replica].call(ctx, endpoint, in, out)
+	g.observe(start, err != nil)
+	return err
+}
+
+// call posts to the group with hedging and returns the winning replica's
+// index (the cursor home for a hedged open). Replica 0 is preferred;
+// hedges walk the list in order, one new race entrant per hedgeDelay.
+func (g *replicaGroup) call(ctx context.Context, endpoint string, in, out any) (int, error) {
+	start := time.Now()
+	winner, raw, err := g.race(ctx, endpoint, in)
+	g.observe(start, err != nil)
+	if err != nil {
+		return winner, err
+	}
+	if out == nil {
+		return winner, nil
+	}
+	return winner, json.Unmarshal(raw, out)
+}
+
+type hedgeResult struct {
+	replica int
+	raw     []byte
+	err     error
+}
+
+func (g *replicaGroup) race(ctx context.Context, endpoint string, in any) (int, []byte, error) {
+	if len(g.replicas) == 1 || g.hedgeDelay <= 0 {
+		raw, err := g.replicas[0].callRaw(ctx, endpoint, in)
+		return 0, raw, err
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel() // losers are cancelled the moment a winner returns
+	results := make(chan hedgeResult, len(g.replicas))
+	launch := func(i int) {
+		go func() {
+			raw, err := g.replicas[i].callRaw(rctx, endpoint, in)
+			results <- hedgeResult{replica: i, raw: raw, err: err}
+		}()
+	}
+	launch(0)
+	inFlight, next := 1, 1
+	timer := time.NewTimer(g.hedgeDelay)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return -1, nil, ctx.Err()
+		case <-timer.C:
+			if next < len(g.replicas) {
+				if g.cm != nil {
+					g.cm.hedges.Inc()
+				}
+				launch(next)
+				next++
+				inFlight++
+				timer.Reset(g.hedgeDelay)
+			}
+		case r := <-results:
+			inFlight--
+			if r.err == nil {
+				if r.replica > 0 && g.cm != nil {
+					g.cm.hedgeWins.Inc()
+				}
+				return r.replica, r.raw, nil
+			}
+			lastErr = r.err
+			if next < len(g.replicas) {
+				// A fast failure frees the slot: bring in the next
+				// replica immediately instead of waiting out the delay.
+				launch(next)
+				next++
+				inFlight++
+			} else if inFlight == 0 {
+				return -1, nil, lastErr
+			}
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"conceptrank/internal/cache"
+	"conceptrank/internal/core"
+	"conceptrank/internal/corpus"
+	"conceptrank/internal/index"
+	"conceptrank/internal/ontology"
+	"conceptrank/internal/telemetry"
+)
+
+// NodeConfig configures a shard node.
+type NodeConfig struct {
+	// Ontology is the concept hierarchy (shared by every node; queries
+	// reference concepts, so all nodes must agree on it).
+	Ontology *ontology.Ontology
+	// Coll is this node's shard of the corpus, in local DocID space.
+	Coll *corpus.Collection
+	// DocMap translates local to global DocIDs: DocMap[local] = global,
+	// strictly increasing (the property that makes local canonical order
+	// equal global canonical order). nil means local IDs are global.
+	DocMap []corpus.DocID
+	// Cache, when non-nil, serves this node's seed vectors; the node
+	// applies it to every query it executes.
+	Cache *cache.Cache
+	// CursorTTL bounds how long a parked cursor survives between steps
+	// (default 2 minutes); MaxCursors caps parked cursors (default 256).
+	CursorTTL  time.Duration
+	MaxCursors int
+	// Registry, when non-nil, receives the node's RPC metrics.
+	Registry *telemetry.Registry
+}
+
+// Node is a thin server wrapping one engine shard: it plans queries,
+// parks their cursors behind tokens, and executes bounded step segments
+// on demand — the remote half of the coordinator's fan-out. Construct
+// with NewNode, mount Handler, and Close when done.
+type Node struct {
+	o       *ontology.Ontology
+	coll    *corpus.Collection
+	eng     *core.Engine
+	docMap  []corpus.DocID
+	cc      *cache.Cache
+	cursors *CursorStore[*nodeCursor]
+	metrics *nodeMetrics
+	mux     *http.ServeMux
+
+	stopSweep chan struct{}
+	sweepDone sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// nodeCursor is one parked remote query: the core cursor plus the
+// node-side hook state a step segment reads and writes. Only one request
+// holds a cursor at a time (Take removes it from the store), so the
+// fields need no locking beyond the segment-cancel handoff.
+type nodeCursor struct {
+	cur *core.Cursor
+	n   *Node
+
+	// offers accumulates every progressive offer (global IDs) of the
+	// current k-epoch; step responses ship the suffix past the request's
+	// From watermark, so a lost response re-ships on retry. Grow resets
+	// the list — the archive it returns supersedes it.
+	offers     []core.Result
+	paused     bool    // self-paused against a coordinator bound
+	lastDMinus float64 // latest termination floor seen by OnBound
+
+	// Per-segment state, set before each Run.
+	bound     WireBound
+	waves     int
+	waveCount int
+	budgetHit bool
+	cancelMu  sync.Mutex
+	cancel    context.CancelFunc
+}
+
+func (nc *nodeCursor) cancelSegment() {
+	nc.cancelMu.Lock()
+	cancel := nc.cancel
+	nc.cancelMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// onProgressive buffers results as they become provably final; the next
+// step response drains the buffer. Global IDs: the coordinator merges
+// without mapping state.
+func (nc *nodeCursor) onProgressive(r core.Result) {
+	nc.offers = append(nc.offers, core.Result{Doc: nc.n.global(r.Doc), Distance: r.Distance})
+}
+
+// onWave enforces the step's wave budget: cancel the segment at the
+// boundary (where core cursors are resumable) once the budget is spent.
+func (nc *nodeCursor) onWave(core.WaveInfo) {
+	if nc.waves <= 0 {
+		return
+	}
+	nc.waveCount++
+	if nc.waveCount >= nc.waves && !nc.budgetHit {
+		nc.budgetHit = true
+		nc.cancelSegment()
+	}
+}
+
+// onBound is cross-shard cancellation's remote half: pause when this
+// shard's floor d⁻ provably exceeds the coordinator's merged k-th
+// distance. The bound travels on the step request and may be stale, but
+// staleness cannot un-prove the pause — the merged k-th only decreases
+// within a k-epoch while d⁻ only increases.
+func (nc *nodeCursor) onBound(dMinus float64) {
+	nc.lastDMinus = dMinus
+	if nc.paused || !nc.bound.Full {
+		return
+	}
+	if dMinus > float64(nc.bound.Kth) {
+		nc.paused = true
+		nc.cancelSegment()
+	}
+}
+
+// NewNode builds a shard node over its slice of the corpus. The engine is
+// constructed exactly as the in-process sharded engine constructs per-
+// shard engines, so distributed results can be bitwise identical.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Ontology == nil || cfg.Coll == nil {
+		return nil, errors.New("cluster: NewNode needs an ontology and a collection")
+	}
+	if cfg.DocMap != nil && len(cfg.DocMap) != cfg.Coll.NumDocs() {
+		return nil, fmt.Errorf("cluster: doc map covers %d docs, collection has %d",
+			len(cfg.DocMap), cfg.Coll.NumDocs())
+	}
+	n := &Node{
+		o:      cfg.Ontology,
+		coll:   cfg.Coll,
+		docMap: cfg.DocMap,
+		cc:     cfg.Cache,
+		eng: core.NewEngine(cfg.Ontology, index.BuildMemInverted(cfg.Coll),
+			index.BuildMemForward(cfg.Coll), cfg.Coll.NumDocs(), nil),
+		cursors:   NewCursorStore[*nodeCursor](cfg.CursorTTL, cfg.MaxCursors),
+		stopSweep: make(chan struct{}),
+	}
+	n.metrics = newNodeMetrics(cfg.Registry, n.cursors.Len)
+	n.cursors.OnEvict = func(nc *nodeCursor) {
+		n.metrics.evictions.Inc()
+		_ = nc.cur.Close()
+	}
+	n.mux = http.NewServeMux()
+	n.route("open", n.handleOpen)
+	n.route("step", n.handleStep)
+	n.route("grow", n.handleGrow)
+	n.route("close", n.handleClose)
+	n.route("search", n.handleSearch)
+	n.route("pairs", n.handlePairs)
+	n.route("block", n.handleBlock)
+	n.route("doc", n.handleDoc)
+	n.route("info", n.handleInfo)
+	n.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	n.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Ready means the corpus is loaded and the engine attached, which
+		// NewNode guarantees before Handler can be mounted.
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "ready: %d docs\n", n.coll.NumDocs())
+	})
+
+	n.sweepDone.Add(1)
+	go func() {
+		defer n.sweepDone.Done()
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stopSweep:
+				return
+			case <-t.C:
+				n.cursors.Sweep()
+			}
+		}
+	}()
+	return n, nil
+}
+
+// Handler returns the node's RPC mux: /rpc/v1/* plus /healthz and
+// /readyz.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// NumDocs returns the node's document count.
+func (n *Node) NumDocs() int { return n.coll.NumDocs() }
+
+// Close stops the sweeper and releases every parked cursor.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.stopSweep)
+	})
+	n.sweepDone.Wait()
+	// Drain the store through eviction so cursors are closed.
+	for n.cursors.Sweep() > 0 {
+	}
+	n.cursors.mu.Lock()
+	entries := n.cursors.m
+	n.cursors.m = make(map[string]storeEntry[*nodeCursor])
+	n.cursors.mu.Unlock()
+	for _, e := range entries {
+		_ = e.v.cur.Close()
+	}
+	return nil
+}
+
+// global maps a local DocID to its global ID.
+func (n *Node) global(l corpus.DocID) corpus.DocID {
+	if n.docMap == nil {
+		return l
+	}
+	return n.docMap[l]
+}
+
+// local maps a global DocID back to local space; ok=false when this node
+// does not own the document. DocMap is strictly increasing, so a binary
+// search suffices.
+func (n *Node) local(g corpus.DocID) (corpus.DocID, bool) {
+	if n.docMap == nil {
+		if int(g) < n.coll.NumDocs() {
+			return g, true
+		}
+		return 0, false
+	}
+	i := sort.Search(len(n.docMap), func(i int) bool { return n.docMap[i] >= g })
+	if i < len(n.docMap) && n.docMap[i] == g {
+		return corpus.DocID(i), true
+	}
+	return 0, false
+}
+
+// route mounts an RPC endpoint with the shared envelope: POST + JSON in,
+// JSON out, errors as ErrorResponse, latency and error accounting.
+func (n *Node) route(name string, h func(*http.Request, *json.Decoder) (any, error)) {
+	n.mux.HandleFunc(PathPrefix+name, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Method != http.MethodPost {
+			n.metrics.observe(name, start, true)
+			writeRPCError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		resp, err := h(r, json.NewDecoder(r.Body))
+		if err != nil {
+			n.metrics.observe(name, start, true)
+			writeRPCError(w, errStatus(err), err)
+			return
+		}
+		n.metrics.observe(name, start, false)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// errStatus maps handler errors to HTTP statuses. 503 marks transient
+// conditions the client may retry or hedge; 404 marks unknown cursors
+// (expired or never issued); everything else is a caller bug (400).
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrStoreFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errUnknownCursor):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone or out of time; the status is a formality.
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+var errUnknownCursor = errors.New("cluster: unknown cursor (expired, closed, or in use)")
+
+func writeRPCError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Code: code})
+}
+
+func (n *Node) open(sds bool, q []ontology.ConceptID, wo WireOptions, hooks *nodeCursor) (*core.Cursor, error) {
+	opts := wo.options()
+	opts.Cache = n.cc
+	if hooks != nil {
+		opts.Progressive = hooks.onProgressive
+		opts.OnWave = hooks.onWave
+		opts.OnBound = hooks.onBound
+	}
+	if sds {
+		return n.eng.OpenSDS(q, opts)
+	}
+	return n.eng.OpenRDS(q, opts)
+}
+
+func (n *Node) handleOpen(r *http.Request, dec *json.Decoder) (any, error) {
+	var req OpenRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad open request: %w", err)
+	}
+	nc := &nodeCursor{n: n, lastDMinus: math.Inf(1)}
+	cur, err := n.open(req.SDS, req.Query, req.Options, nc)
+	if err != nil {
+		return nil, err
+	}
+	nc.cur = cur
+	tok, err := n.cursors.Add(nc)
+	if err != nil {
+		_ = cur.Close()
+		return nil, err
+	}
+	return OpenResponse{Cursor: tok}, nil
+}
+
+func (n *Node) handleStep(r *http.Request, dec *json.Decoder) (any, error) {
+	var req StepRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad step request: %w", err)
+	}
+	nc, ok := n.cursors.Take(req.Cursor)
+	if !ok {
+		return nil, errUnknownCursor
+	}
+	defer n.cursors.Put(req.Cursor, nc)
+
+	resp := StepResponse{}
+	if !nc.paused {
+		nc.bound = req.Bound
+		nc.waves = req.Waves
+		nc.waveCount = 0
+		nc.budgetHit = false
+		sctx, cancel := context.WithCancel(r.Context())
+		nc.cancelMu.Lock()
+		nc.cancel = cancel
+		nc.cancelMu.Unlock()
+		_, _, err := nc.cur.Run(sctx)
+		nc.cancelMu.Lock()
+		nc.cancel = nil
+		nc.cancelMu.Unlock()
+		cancel()
+		switch {
+		case err == nil:
+			resp.Done = true
+		case errors.Is(err, context.Canceled) && (nc.paused || nc.budgetHit) && r.Context().Err() == nil:
+			// Our own hook stopped the segment: a bound pause or a spent
+			// wave budget, both resumable. Fall through with Done=false.
+		default:
+			return nil, err
+		}
+	}
+	resp.Paused = nc.paused
+	if from := req.From; from >= 0 && from < len(nc.offers) {
+		resp.Results = toWire(nc.offers[from:])
+	}
+	resp.DMinus = wireFloat(nc.lastDMinus)
+	if m := nc.cur.Metrics(); m != nil {
+		snap := *m
+		resp.Metrics = &snap
+	}
+	return resp, nil
+}
+
+func (n *Node) handleGrow(r *http.Request, dec *json.Decoder) (any, error) {
+	var req GrowRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad grow request: %w", err)
+	}
+	nc, ok := n.cursors.Take(req.Cursor)
+	if !ok {
+		return nil, errUnknownCursor
+	}
+	defer n.cursors.Put(req.Cursor, nc)
+	nc.cur.Grow(req.K)
+	nc.paused = false // the pause proof expired with the old k
+	nc.bound = WireBound{}
+	// The coordinator rebuilds its merger from the archive, which contains
+	// everything the offer list could hold; reset the list (and the
+	// coordinator its watermark) so steps ship only post-grow discoveries.
+	nc.offers = nil
+	ex := nc.cur.Examined()
+	out := make([]WireResult, len(ex))
+	for i, rr := range ex {
+		out[i] = WireResult{Doc: n.global(rr.Doc), Distance: wireFloat(rr.Distance)}
+	}
+	return GrowResponse{Examined: out}, nil
+}
+
+func (n *Node) handleClose(r *http.Request, dec *json.Decoder) (any, error) {
+	var req CloseRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad close request: %w", err)
+	}
+	n.cursors.Remove(req.Cursor)
+	return struct{}{}, nil
+}
+
+func (n *Node) handleSearch(r *http.Request, dec *json.Decoder) (any, error) {
+	var req SearchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad search request: %w", err)
+	}
+	cur, err := n.open(req.SDS, req.Query, req.Options, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	rs, m, err := cur.Run(r.Context())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WireResult, len(rs))
+	for i, rr := range rs {
+		out[i] = WireResult{Doc: n.global(rr.Doc), Distance: wireFloat(rr.Distance)}
+	}
+	var snap *core.Metrics
+	if m != nil {
+		c := *m
+		snap = &c
+	}
+	return SearchResponse{Results: out, Metrics: snap}, nil
+}
+
+func (n *Node) handlePairs(r *http.Request, dec *json.Decoder) (any, error) {
+	var req PairsRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad pairs request: %w", err)
+	}
+	ps, m, err := n.eng.TopKPairs(r.Context(), core.PairOptions{
+		K:              req.K,
+		ErrorThreshold: req.ErrorThreshold,
+		Workers:        req.Workers,
+		Cache:          n.cc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WirePair, len(ps))
+	for i, p := range ps {
+		// The doc map is strictly increasing, so local A < B implies
+		// global A < B: canonical pair order survives the translation.
+		out[i] = WirePair{A: n.global(p.A), B: n.global(p.B), Distance: wireFloat(p.Distance)}
+	}
+	return PairsResponse{Pairs: out, Metrics: m}, nil
+}
+
+func (n *Node) handleBlock(r *http.Request, dec *json.Decoder) (any, error) {
+	docs := n.coll.Docs()
+	out := make([]WireDoc, len(docs))
+	for i, d := range docs {
+		out[i] = WireDoc{Doc: n.global(d.ID), Concepts: d.Concepts}
+	}
+	return BlockResponse{Docs: out}, nil
+}
+
+func (n *Node) handleDoc(r *http.Request, dec *json.Decoder) (any, error) {
+	var req DocRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad doc request: %w", err)
+	}
+	l, ok := n.local(req.Doc)
+	if !ok {
+		return nil, fmt.Errorf("doc %d not on this node", req.Doc)
+	}
+	return DocResponse{Doc: req.Doc, Concepts: n.coll.Doc(l).Concepts}, nil
+}
+
+func (n *Node) handleInfo(r *http.Request, dec *json.Decoder) (any, error) {
+	return InfoResponse{
+		Version:  Version,
+		Docs:     n.coll.NumDocs(),
+		Concepts: n.o.NumConcepts(),
+	}, nil
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"conceptrank/internal/ontology"
+)
+
+func testNode(t *testing.T, mut func(*NodeConfig)) (*Node, *httptest.Server) {
+	t.Helper()
+	r := rand.New(rand.NewSource(20140409))
+	o := randomDAGOntology(r, 40, 0.3)
+	coll := randomCollection(r, o, 20, 5)
+	cfg := NodeConfig{Ontology: o, Coll: coll}
+	if mut != nil {
+		mut(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.Handler())
+	t.Cleanup(func() { srv.Close(); _ = n.Close() })
+	return n, srv
+}
+
+func post(t *testing.T, url string, in any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestNodeHealthEndpoints(t *testing.T) {
+	_, srv := testNode(t, nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %q", path, resp.StatusCode, b)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+}
+
+func TestNodeRejectsGet(t *testing.T) {
+	_, srv := testNode(t, nil)
+	resp, err := http.Get(srv.URL + PathPrefix + "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET info status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestNodeUnknownCursorIs404(t *testing.T) {
+	_, srv := testNode(t, nil)
+	for _, ep := range []string{"step", "grow"} {
+		resp := post(t, srv.URL+PathPrefix+ep, StepRequest{Cursor: "nope"})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s with unknown cursor: status %d, want 404", ep, resp.StatusCode)
+		}
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("%s error envelope: %v / %+v", ep, err, e)
+		}
+	}
+}
+
+func TestNodeBadRequestIs400(t *testing.T) {
+	_, srv := testNode(t, nil)
+	// Empty query is a caller bug, not a transient condition.
+	resp := post(t, srv.URL+PathPrefix+"open", OpenRequest{Query: nil})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-query open: status %d, want 400", resp.StatusCode)
+	}
+	// Concept out of range too.
+	resp = post(t, srv.URL+PathPrefix+"search", SearchRequest{
+		Query: []ontology.ConceptID{99999}, Options: WireOptions{K: 3},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range search: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestNodeCursorStoreFullIs503(t *testing.T) {
+	_, srv := testNode(t, func(cfg *NodeConfig) { cfg.MaxCursors = 1 })
+	q := []ontology.ConceptID{1}
+	resp := post(t, srv.URL+PathPrefix+"open", OpenRequest{Query: q, Options: WireOptions{K: 3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first open: status %d", resp.StatusCode)
+	}
+	resp = post(t, srv.URL+PathPrefix+"open", OpenRequest{Query: q, Options: WireOptions{K: 3}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open past capacity: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestNodeStepFromWatermark exercises the retry-safety contract: a step
+// re-sent with an older From re-ships the suffix the lost response carried.
+func TestNodeStepFromWatermark(t *testing.T) {
+	_, srv := testNode(t, nil)
+	var open OpenResponse
+	resp := post(t, srv.URL+PathPrefix+"open",
+		OpenRequest{Query: []ontology.ConceptID{1, 2}, Options: WireOptions{K: 5}})
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	step := func(from int) StepResponse {
+		t.Helper()
+		r := post(t, srv.URL+PathPrefix+"step",
+			StepRequest{Cursor: open.Cursor, From: from, Waves: -1})
+		if r.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(r.Body)
+			t.Fatalf("step: status %d body %s", r.StatusCode, b)
+		}
+		var s StepResponse
+		if err := json.NewDecoder(r.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	first := step(0)
+	if !first.Done {
+		t.Fatalf("unbounded step not done: %+v", first)
+	}
+	// Pretend the first response was lost: replay From=0 and expect the
+	// identical full offer list back.
+	replay := step(0)
+	if len(replay.Results) != len(first.Results) {
+		t.Fatalf("replay shipped %d results, first %d", len(replay.Results), len(first.Results))
+	}
+	for i := range first.Results {
+		if first.Results[i] != replay.Results[i] {
+			t.Fatalf("replay result %d differs: %+v vs %+v", i, first.Results[i], replay.Results[i])
+		}
+	}
+	// And a caught-up watermark ships nothing new.
+	if tail := step(len(first.Results)); len(tail.Results) != 0 {
+		t.Fatalf("caught-up step shipped %d results, want 0", len(tail.Results))
+	}
+}
+
+func TestNodeCloseReleasesCursor(t *testing.T) {
+	n, srv := testNode(t, nil)
+	var open OpenResponse
+	resp := post(t, srv.URL+PathPrefix+"open",
+		OpenRequest{Query: []ontology.ConceptID{1}, Options: WireOptions{K: 3}})
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	if n.cursors.Len() != 1 {
+		t.Fatalf("cursors = %d after open, want 1", n.cursors.Len())
+	}
+	post(t, srv.URL+PathPrefix+"close", CloseRequest{Cursor: open.Cursor})
+	if n.cursors.Len() != 0 {
+		t.Fatalf("cursors = %d after close, want 0", n.cursors.Len())
+	}
+	// Closing again is a no-op, not an error.
+	resp = post(t, srv.URL+PathPrefix+"close", CloseRequest{Cursor: open.Cursor})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("double close: status %d", resp.StatusCode)
+	}
+}
+
+func TestNodeCursorTTLExpiresOverRPC(t *testing.T) {
+	_, srv := testNode(t, func(cfg *NodeConfig) { cfg.CursorTTL = 20 * time.Millisecond })
+	var open OpenResponse
+	resp := post(t, srv.URL+PathPrefix+"open",
+		OpenRequest{Query: []ontology.ConceptID{1}, Options: WireOptions{K: 3}})
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	r := post(t, srv.URL+PathPrefix+"step", StepRequest{Cursor: open.Cursor, Waves: -1})
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("step on expired cursor: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestWireFloatRoundTrip(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, 0.1, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for _, v := range vals {
+		b, err := json.Marshal(wireFloat(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got wireFloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if float64(got) != v {
+			t.Fatalf("round trip %v -> %s -> %v", v, b, float64(got))
+		}
+	}
+	// NaN round-trips to NaN (not equal to itself, so check explicitly).
+	b, _ := json.Marshal(wireFloat(math.NaN()))
+	var got wireFloat
+	if err := json.Unmarshal(b, &got); err != nil || !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN round trip: %s -> %v (%v)", b, float64(got), err)
+	}
+}

@@ -8,9 +8,7 @@ import (
 	"time"
 
 	"conceptrank/internal/core"
-	"conceptrank/internal/corpus"
 	"conceptrank/internal/ontology"
-	"conceptrank/internal/pool"
 )
 
 // Cursor is a resumable sharded kNDS query: one core.Cursor per non-empty
@@ -22,41 +20,107 @@ import (
 // exact distances the shards have already paid for, so the grown result is
 // bitwise identical to a fresh sharded query with Options.K = k'.
 //
+// The merge/resume loop itself lives in Fanout: Cursor wires core.Cursors
+// into it as in-process FanoutShards; the distributed coordinator
+// (internal/cluster) wires remote cursors into the same loop.
+//
 // Method semantics mirror core.Cursor: Next pages through the merged
 // ranking, GrowK extends it, context errors are resumable at shard wave
 // boundaries, and Close releases every shard cursor.
 type Cursor struct {
 	mu sync.Mutex // serializes the public API; held across segment runs
 
-	e      *Engine
-	sds    bool
-	k      int
+	f      *Fanout
 	served int
-	done   bool // current-k run has terminated; results is valid
 	closed bool
-	failed error // sticky non-context error
 
-	results []core.Result
-	sm      *Metrics
-	start     time.Time     // open time: the At reference for dispatch/merge events
-	elapsed   time.Duration // accumulated segment wall-clock → Merged.TotalTime
-	mergeTime time.Duration // accumulated cross-shard merge time → Merged.Stages[StageMerge]
-
-	curs []*core.Cursor // nil for empty shards
+	start time.Time // open time: the At reference for dispatch/merge events
 
 	callerTrace core.TraceFunc
 	traceMu     sync.Mutex // serializes forwarded span events across shards
-
-	// Shard goroutines touch the merge state through the OnBound /
-	// Progressive hooks while runTo holds c.mu across the segment, so that
-	// state lives under its own lock.
-	segMu       sync.Mutex
-	merger      *core.Merger
-	offered     map[corpus.DocID]bool // global IDs already offered to merger
-	paused      []bool                // paused by the bound in the current k-epoch
-	cancels     []context.CancelFunc  // current segment's per-shard cancels
-	pausedTotal int                   // lifetime pauses → Metrics.CancelledShards
 }
+
+// localShard adapts one shard's core.Cursor to the FanoutShard interface:
+// its progressive hook (installed at open) offers global-ID results into
+// the shared MergeState, its bound hook pauses the shard when the
+// cross-shard proof holds, and Run distinguishes a bound pause from a
+// caller cancellation.
+type localShard struct {
+	s      int
+	cur    *core.Cursor
+	ms     *MergeState
+	mapper docMapper
+
+	mu     sync.Mutex // guards cancel (set per segment, read by the bound hook)
+	cancel context.CancelFunc
+}
+
+func (ls *localShard) Run(ctx context.Context) (bool, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ls.mu.Lock()
+	ls.cancel = cancel
+	ls.mu.Unlock()
+	_, _, err := ls.cur.Run(sctx)
+	ls.mu.Lock()
+	ls.cancel = nil
+	ls.mu.Unlock()
+	if err != nil {
+		if ls.ms.Paused(ls.s) && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// Stopped by the cross-shard bound, not by the caller:
+			// everything relevant was already merged.
+			return false, nil
+		}
+		return false, fmt.Errorf("shard %d: %w", ls.s, err)
+	}
+	return true, nil
+}
+
+// onBound is the Options.OnBound hook: pause this shard once its
+// termination floor provably exceeds the merged k-th distance. The
+// cursor state survives the cancellation, so a later GrowK (which
+// invalidates the proof) resumes it mid-traversal.
+func (ls *localShard) onBound(dMinus float64) {
+	if ls.ms.PauseIfBeyond(ls.s, dMinus) {
+		ls.mu.Lock()
+		cancel := ls.cancel
+		ls.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// offer is the Options.Progressive hook: results are provably final when
+// emitted, so offering them as they appear keeps the merged k-th distance
+// — the cross-shard cancellation bound — as tight as the shards' progress
+// allows.
+func (ls *localShard) offer(r core.Result) {
+	ls.ms.Offer(core.Result{Doc: ls.mapper.global(ls.s, r.Doc), Distance: r.Distance})
+}
+
+func (ls *localShard) Grow(_ context.Context, k int) error {
+	ls.cur.Grow(k)
+	return nil
+}
+
+func (ls *localShard) Examined(_ context.Context) ([]core.Result, error) {
+	ex := ls.cur.Examined()
+	out := make([]core.Result, len(ex))
+	for i, r := range ex {
+		out[i] = core.Result{Doc: ls.mapper.global(ls.s, r.Doc), Distance: r.Distance}
+	}
+	return out, nil
+}
+
+func (ls *localShard) Metrics() core.Metrics {
+	if m := ls.cur.Metrics(); m != nil {
+		return *m
+	}
+	return core.Metrics{}
+}
+
+func (ls *localShard) Close() error { return ls.cur.Close() }
 
 // OpenRDS plans a relevant-document query across all shards and returns a
 // cursor positioned before the first merged result. No traversal runs
@@ -92,21 +156,19 @@ func (e *Engine) open(sds bool, rawQuery []ontology.ConceptID, opts core.Options
 	opts = opts.Normalize()
 
 	c := &Cursor{
-		e: e, sds: sds, k: opts.K,
-		sm:          &Metrics{PerShard: make([]core.Metrics, len(e.shards))},
 		start:       time.Now(),
-		curs:        make([]*core.Cursor, len(e.shards)),
-		merger:      core.NewMerger(opts.K),
-		offered:     make(map[corpus.DocID]bool),
-		paused:      make([]bool, len(e.shards)),
-		cancels:     make([]context.CancelFunc, len(e.shards)),
 		callerTrace: opts.Trace,
 	}
+	// The Fanout owns the slice: filling entries below works because the
+	// backing array is shared, and the hooks wire to its MergeState.
+	shards := make([]FanoutShard, len(e.shards))
+	f := NewFanout(shards, opts.K)
 	for s := range e.shards {
 		if e.counts[s]() == 0 {
 			continue // empty shard: nothing to search, nothing to cancel
 		}
 		s := s
+		ls := &localShard{s: s, ms: f.MergeState(), mapper: e.mapper}
 		so := opts
 		so.OnWave = nil
 		so.Trace = nil
@@ -117,41 +179,8 @@ func (e *Engine) open(sds bool, rawQuery []ontology.ConceptID, opts core.Options
 				c.emit(ev)
 			}
 		}
-		so.Progressive = func(r core.Result) {
-			// Results are provably final when emitted, so offering them as
-			// they appear keeps the merged k-th distance — the cross-shard
-			// cancellation bound — as tight as the shards' progress allows.
-			// The offered set guards against re-offering after a GrowK
-			// merger rebuild (the merger heap has no dedup of its own).
-			gr := core.Result{Doc: e.mapper.global(s, r.Doc), Distance: r.Distance}
-			c.segMu.Lock()
-			if !c.offered[gr.Doc] {
-				c.offered[gr.Doc] = true
-				c.merger.Offer(gr)
-			}
-			c.segMu.Unlock()
-		}
-		so.OnBound = func(dMinus float64) {
-			c.segMu.Lock()
-			if c.paused[s] {
-				c.segMu.Unlock()
-				return
-			}
-			full, kth := c.merger.Full(), c.merger.Kth()
-			cancel := c.cancels[s]
-			if full && dMinus > kth && cancel != nil {
-				// Every result this shard could still produce has distance
-				// >= d⁻ > the merged k-th — pause the shard. Its cursor
-				// state survives the cancellation, so a later GrowK (which
-				// invalidates this proof) resumes it mid-traversal.
-				c.paused[s] = true
-				c.pausedTotal++
-				c.segMu.Unlock()
-				cancel()
-				return
-			}
-			c.segMu.Unlock()
-		}
+		so.Progressive = ls.offer
+		so.OnBound = ls.onBound
 		var cur *core.Cursor
 		var err error
 		if sds {
@@ -160,12 +189,35 @@ func (e *Engine) open(sds bool, rawQuery []ontology.ConceptID, opts core.Options
 			cur, err = e.shards[s].OpenRDS(rawQuery, so)
 		}
 		if err != nil {
-			c.Close()
+			for _, sh := range shards {
+				if sh != nil {
+					_ = sh.Close()
+				}
+			}
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
-		c.curs[s] = cur
+		ls.cur = cur
+		shards[s] = ls
 	}
+	f.OnMerge = func(live, cancelled int) {
+		c.emit(core.TraceEvent{
+			Kind:  core.TraceShardMerge,
+			At:    time.Since(c.start),
+			Shard: -1,
+			N:     live,
+			Value: float64(cancelled),
+		})
+	}
+	c.f = f
 	return c, nil
+}
+
+// NewFanoutCursor wraps an already-wired Fanout in the public cursor API —
+// the constructor the distributed coordinator uses to speak the exact
+// cursor/page protocol of the in-process sharded engine over its remote
+// fan-out.
+func NewFanoutCursor(f *Fanout) *Cursor {
+	return &Cursor{start: time.Now(), f: f}
 }
 
 func (c *Cursor) emit(ev core.TraceEvent) {
@@ -191,17 +243,18 @@ func (c *Cursor) Next(ctx context.Context, n int) ([]core.Result, error) {
 		return nil, nil
 	}
 	target := c.served + n
-	if err := c.runTo(ctx, target); err != nil {
+	if err := c.f.RunTo(ctx, target); err != nil {
 		return nil, err
 	}
-	if c.served >= len(c.results) {
+	results := c.f.Results()
+	if c.served >= len(results) {
 		return nil, nil // drained
 	}
 	end := target
-	if end > len(c.results) {
-		end = len(c.results)
+	if end > len(results) {
+		end = len(results)
 	}
-	page := c.results[c.served:end]
+	page := results[c.served:end]
 	c.served = end
 	return page, nil
 }
@@ -216,10 +269,10 @@ func (c *Cursor) GrowK(ctx context.Context, k int) ([]core.Result, error) {
 	if c.closed {
 		return nil, core.ErrCursorClosed
 	}
-	if err := c.runTo(ctx, k); err != nil {
+	if err := c.f.RunTo(ctx, k); err != nil {
 		return nil, err
 	}
-	return c.results, nil
+	return c.f.Results(), nil
 }
 
 // Run drives the query to termination at the current k and returns the
@@ -228,155 +281,19 @@ func (c *Cursor) Run(ctx context.Context) ([]core.Result, *Metrics, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, c.sm, core.ErrCursorClosed
+		return nil, c.f.Metrics(), core.ErrCursorClosed
 	}
-	if err := c.runTo(ctx, c.k); err != nil {
-		return nil, c.sm, err
+	if err := c.f.RunTo(ctx, c.f.K()); err != nil {
+		return nil, c.f.Metrics(), err
 	}
-	return c.results, c.sm, nil
-}
-
-// runTo grows to target if needed and runs a segment to termination.
-// Caller holds c.mu.
-func (c *Cursor) runTo(ctx context.Context, target int) error {
-	if c.failed != nil {
-		return c.failed
-	}
-	if target > c.k {
-		// Growing past a merger the union could not fill finds nothing new.
-		if !(c.done && len(c.results) < c.k) {
-			c.grow(target)
-		}
-	}
-	if c.done {
-		return nil
-	}
-	segStart := time.Now()
-	defer func() { c.elapsed += time.Since(segStart) }()
-
-	g, gctx := pool.GroupWithContext(ctx)
-	live := 0
-	for s, cur := range c.curs {
-		if cur == nil {
-			continue
-		}
-		c.segMu.Lock()
-		paused := c.paused[s]
-		c.segMu.Unlock()
-		if paused {
-			continue // the bound proof for this k still stands
-		}
-		live++
-		s, cur := s, cur
-		sctx, cancel := context.WithCancel(gctx)
-		c.segMu.Lock()
-		c.cancels[s] = cancel
-		c.segMu.Unlock()
-		g.Go(func() error {
-			defer cancel()
-			_, m, err := cur.Run(sctx)
-			if m != nil {
-				c.sm.PerShard[s] = *m
-			}
-			if err != nil {
-				c.segMu.Lock()
-				paused := c.paused[s]
-				c.segMu.Unlock()
-				if paused && errors.Is(err, context.Canceled) {
-					// Stopped by the cross-shard bound, not by the caller:
-					// everything relevant was already merged.
-					return nil
-				}
-				return fmt.Errorf("shard %d: %w", s, err)
-			}
-			return nil
-		})
-	}
-	err := g.Wait()
-	c.segMu.Lock()
-	for s := range c.cancels {
-		c.cancels[s] = nil
-	}
-	c.segMu.Unlock()
-	if err != nil {
-		if !ctxResumable(err) {
-			c.failed = err
-		}
-		return err
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-
-	mergeStart := time.Now()
-	c.results = c.merger.Sorted()
-	merged := core.Metrics{}
-	for i := range c.sm.PerShard {
-		mergeMetrics(&merged, &c.sm.PerShard[i])
-	}
-	// The cross-shard merge is the one stage shards cannot see; attribute
-	// it here — accumulated across segments like elapsed, because merged
-	// is rebuilt from the per-shard metrics on every segment.
-	c.mergeTime += time.Since(mergeStart)
-	merged.Stages[core.StageMerge].Time += c.mergeTime
-	c.segMu.Lock()
-	cancelled := c.pausedTotal
-	c.segMu.Unlock()
-	merged.TotalTime = c.elapsed + time.Since(segStart)
-	merged.ResultCount = len(c.results)
-	c.sm.Merged = merged
-	c.sm.CancelledShards = cancelled
-	c.emit(core.TraceEvent{
-		Kind:  core.TraceShardMerge,
-		At:    time.Since(c.start),
-		Shard: -1,
-		N:     live,
-		Value: float64(cancelled),
-	})
-	c.done = true
-	return nil
-}
-
-// grow raises k, rebuilds the merger from every shard's archive of exact
-// distances, and unpauses every shard. Caller holds c.mu; no segment is
-// running, so the shard cursors are quiescent.
-func (c *Cursor) grow(k int) {
-	c.k = k
-	c.done = false
-	c.results = nil
-	merger := core.NewMerger(k)
-	offered := make(map[corpus.DocID]bool)
-	for s, cur := range c.curs {
-		if cur == nil {
-			continue
-		}
-		cur.Grow(k)
-		// Re-seed the merger with the exact distances this shard already
-		// paid for: its progressive hook only emits each result once per
-		// query lifetime, so results emitted before the grow would
-		// otherwise be lost to the fresh merger.
-		for _, r := range cur.Examined() {
-			gr := core.Result{Doc: c.e.mapper.global(s, r.Doc), Distance: r.Distance}
-			if !offered[gr.Doc] {
-				offered[gr.Doc] = true
-				merger.Offer(gr)
-			}
-		}
-	}
-	c.segMu.Lock()
-	c.merger = merger
-	c.offered = offered
-	for s := range c.paused {
-		c.paused[s] = false
-	}
-	c.segMu.Unlock()
+	return c.f.Results(), c.f.Metrics(), nil
 }
 
 // K returns the current merged result capacity.
 func (c *Cursor) K() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.k
+	return c.f.K()
 }
 
 // Results returns the merged results of the latest completed run (nil
@@ -384,7 +301,7 @@ func (c *Cursor) K() int {
 func (c *Cursor) Results() []core.Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.results
+	return c.f.Results()
 }
 
 // Metrics returns the sharded metrics, accumulated across every run
@@ -392,7 +309,7 @@ func (c *Cursor) Results() []core.Result {
 func (c *Cursor) Metrics() *Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sm
+	return c.f.Metrics()
 }
 
 // Close releases every shard cursor. Closing twice is a no-op.
@@ -402,13 +319,8 @@ func (c *Cursor) Close() error {
 	if c.closed {
 		return nil
 	}
-	for _, cur := range c.curs {
-		if cur != nil {
-			cur.Close()
-		}
-	}
 	c.closed = true
-	return nil
+	return c.f.Close()
 }
 
 func ctxResumable(err error) bool {

@@ -106,6 +106,13 @@ type Metrics struct {
 	// bound: their termination floor rose above the merged k-th distance,
 	// proving they had nothing left to contribute.
 	CancelledShards int
+	// Degraded lists shards abandoned mid-query by a partial-results
+	// policy (shard order). In-process engines never degrade — a shard
+	// failure fails the query — so this is non-nil only for fan-outs with
+	// such a policy, e.g. the distributed coordinator when a node dies
+	// past its deadline. A degraded ranking is exact over the surviving
+	// shards' union but may miss documents owned by the lost shards.
+	Degraded []int
 }
 
 // docMapper translates shard-local document IDs to global ones. The static
